@@ -1,0 +1,76 @@
+// Command xfmbench regenerates every table and figure of the paper's
+// evaluation. With no arguments it runs the full suite; pass
+// experiment ids (fig1 fig3 fig8 fig11 fig12 table1 table2 table3
+// sec32 energy capacity emulator) to run a subset.
+//
+// Usage:
+//
+//	xfmbench [-csv] [-list] [experiment ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"xfm/internal/experiments"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	plot := flag.Bool("plot", false, "append an ASCII bar chart for experiments that provide one")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	outDir := flag.String("out", "", "also write each experiment's table as CSV into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if flag.NArg() == 0 {
+		selected = experiments.All()
+	} else {
+		for _, id := range flag.Args() {
+			e, err := experiments.Lookup(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tbl := e.Run()
+		if *outDir != "" {
+			path := filepath.Join(*outDir, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", e.Title, tbl.CSV())
+		} else {
+			fmt.Printf("=== %s ===\n%s", e.Title, tbl.String())
+			if *plot && e.Plot != nil {
+				fmt.Printf("\n%s", e.Plot())
+			}
+			fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

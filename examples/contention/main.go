@@ -1,0 +1,59 @@
+// Contention: the Fig. 11 scenario as a library-use example — eight
+// memory-intensive workloads co-run with SFM swap traffic under the
+// three implementations (Baseline-CPU, Host-Lockout-NMA, XFM), sweeping
+// the promotion rate.
+//
+// Run with: go run ./examples/contention
+package main
+
+import (
+	"fmt"
+
+	"xfm/internal/contention"
+	"xfm/internal/workload"
+)
+
+func main() {
+	sys := contention.DefaultSystem()
+	profiles := workload.SPECLikeProfiles()
+
+	fmt.Printf("co-run: %d workloads on a %d-channel system (%.0f GB/s peak), 512 GB SFM\n\n",
+		len(profiles), sys.Channels, float64(sys.Channels)*sys.ChannelGBps)
+
+	fmt.Printf("%-10s %-16s %-16s %-16s %s\n",
+		"promotion", "Baseline max", "Lockout max", "XFM max", "SFM throughput (baseline)")
+	for _, rate := range []float64{0.05, 0.14, 0.25, 0.50, 1.00} {
+		traffic := contention.SFMTraffic{
+			SwapGBps:         512 * rate / 60,
+			CompressionRatio: 2.0,
+		}
+		var line [3]contention.Result
+		for i, m := range contention.Modes() {
+			r, err := contention.CoRun(sys, profiles, traffic, m)
+			if err != nil {
+				panic(err)
+			}
+			line[i] = r
+		}
+		fmt.Printf("%-10s %-16s %-16s %-16s %.3f\n",
+			fmt.Sprintf("%.0f%%", rate*100),
+			fmt.Sprintf("%.3f", line[0].MaxSlowdown()),
+			fmt.Sprintf("%.3f", line[1].MaxSlowdown()),
+			fmt.Sprintf("%.3f", line[2].MaxSlowdown()),
+			line[0].SFMThroughputFactor)
+	}
+
+	fmt.Println()
+	fmt.Println("per-workload detail at 14% promotion (the paper's Fig. 11 point):")
+	traffic := contention.SFMTraffic{SwapGBps: 512 * 0.14 / 60, CompressionRatio: 2.0}
+	var results []contention.Result
+	for _, m := range contention.Modes() {
+		r, _ := contention.CoRun(sys, profiles, traffic, m)
+		results = append(results, r)
+	}
+	fmt.Printf("%-16s %-12s %-18s %s\n", "workload", "Baseline", "Host-Lockout", "XFM")
+	for i, p := range profiles {
+		fmt.Printf("%-16s %-12.3f %-18.3f %.3f\n",
+			p.Name, results[0].Slowdowns[i], results[1].Slowdowns[i], results[2].Slowdowns[i])
+	}
+}

@@ -1,0 +1,49 @@
+// Costanalysis: the Fig. 3 scenario as a library-use example — when
+// does software-defined far memory beat buying disaggregated DRAM or
+// PMem, in dollars and in carbon?
+//
+// Run with: go run ./examples/costanalysis
+package main
+
+import (
+	"fmt"
+
+	"xfm/internal/costmodel"
+)
+
+func main() {
+	p := costmodel.DefaultParams() // 512 GB tier
+
+	fmt.Println("DFM vs SFM break-even analysis (512 GB far-memory tier)")
+	fmt.Println()
+
+	for _, rate := range []float64{0.05, 0.15, 0.20, 0.50, 1.00} {
+		p.PromotionRate = rate
+		fmt.Printf("promotion %3.0f%% (%6.1f GB/min swapped, %4.1f%% of a socket busy):\n",
+			rate*100, p.GBSwappedPerMin(), p.CPUNeededFraction()*100)
+		for _, tech := range []costmodel.MemoryTech{costmodel.DRAM, costmodel.PMem} {
+			costMsg := "never within 20y"
+			if y, ok := p.CostBreakEvenYears(tech, 20); ok {
+				costMsg = fmt.Sprintf("%.1f years", y)
+			}
+			emMsg := "never within 20y"
+			if y, ok := p.EmissionBreakEvenYears(tech, 20); ok {
+				emMsg = fmt.Sprintf("%.1f years", y)
+			}
+			fmt.Printf("  vs %-4s DFM: cost break-even %-18s emissions break-even %s\n",
+				tech, costMsg, emMsg)
+		}
+		fmt.Println()
+	}
+
+	p.PromotionRate = 0.20
+	fmt.Printf("5-year totals at 20%% promotion:\n")
+	fmt.Printf("  SFM:       $%7.0f, %7.0f kgCO2eq\n", p.SFMCost(5), p.SFMEmission(5))
+	fmt.Printf("  DRAM DFM:  $%7.0f, %7.0f kgCO2eq\n",
+		p.DFMCost(costmodel.DRAM, 5), p.DFMEmission(costmodel.DRAM, 5))
+	fmt.Printf("  PMem DFM:  $%7.0f, %7.0f kgCO2eq\n",
+		p.DFMCost(costmodel.PMem, 5), p.DFMEmission(costmodel.PMem, 5))
+	fmt.Println()
+	fmt.Printf("an integrated compression accelerator pays off above %.1f%% promotion (§3.2)\n",
+		p.AcceleratorBeneficialPromotion()*100)
+}

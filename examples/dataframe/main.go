@@ -1,0 +1,103 @@
+// Dataframe: the paper's motivating application as a real program — a
+// column-store analytics service whose tables live in a far-memory
+// heap backed by XFM. Cold tables compress into the SFM region; a
+// query on a cold table either faults its pages back (CPU path) or
+// prefetches them through the NMA.
+//
+// Run with: go run ./examples/dataframe
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"xfm/internal/compress"
+	"xfm/internal/dataframe"
+	"xfm/internal/dram"
+	"xfm/internal/memctrl"
+	"xfm/internal/nma"
+	"xfm/internal/sfm"
+	"xfm/internal/xfm"
+)
+
+func main() {
+	// Far-memory heap over an XFM backend.
+	sim := nma.NewSim(nma.DefaultConfig(dram.Device32Gb))
+	driver := xfm.NewDriver(sim)
+	backend, err := xfm.NewBackend(compress.NewXDeflate(), 1<<30,
+		driver, memctrl.SkylakeMapping(4, 2, dram.Device32Gb))
+	if err != nil {
+		log.Fatal(err)
+	}
+	heap := sfm.NewHeap(backend)
+	frame := dataframe.New(heap)
+
+	// A requests table: 100k rows of (region, latency_ms, bytes).
+	const rows = 100_000
+	rng := rand.New(rand.NewSource(1))
+	regions := make([]int64, rows)
+	latencies := make([]float64, rows)
+	sizes := make([]int64, rows)
+	for i := 0; i < rows; i++ {
+		regions[i] = int64(rng.Intn(8))
+		latencies[i] = rng.ExpFloat64() * 20
+		sizes[i] = int64(rng.Intn(1 << 16))
+	}
+	now := dram.Ps(0)
+	if _, err := frame.AddInt64(now, "region", regions); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := frame.AddFloat64(now, "latency_ms", latencies); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := frame.AddInt64(now, "bytes", sizes); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("table: %d rows, %d columns (%d far-memory pages)\n",
+		frame.Rows(), len(frame.Columns()), rows*3/512+3)
+
+	// Query 1 on hot data.
+	latCol, _ := frame.Column("latency_ms")
+	mean, _ := latCol.MeanFloat64(now)
+	fmt.Printf("mean latency (hot): %.2f ms\n", mean)
+
+	// The table goes cold: demote every column into compressed far
+	// memory.
+	now += 100 * dram.Millisecond
+	total := 0
+	for _, name := range []string{"region", "latency_ms", "bytes"} {
+		n, err := frame.Demote(now, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += n
+	}
+	bs := backend.Stats()
+	fmt.Printf("demoted %d pages; compression ratio %.2f; %d offloaded to NMA\n",
+		total, bs.CompressionRatio(), bs.Offloads)
+
+	// Query 2 arrives later: prefetch the needed columns (offloaded,
+	// predictable pattern) and run a group-by.
+	now += 500 * dram.Millisecond
+	p1, _ := frame.PrefetchColumn(now, "region")
+	p2, _ := frame.PrefetchColumn(now, "bytes")
+	now += 50 * dram.Millisecond
+	groups, err := frame.GroupSumInt64(now, "region", "bytes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prefetched %d pages ahead of the group-by\n", p1+p2)
+	for r := int64(0); r < 8; r++ {
+		fmt.Printf("  region %d: %d bytes served\n", r, groups[r])
+	}
+
+	hs := heap.Stats()
+	bs = backend.Stats()
+	ns := driver.NMAStats()
+	fmt.Printf("\nheap: %d demand faults, %d prefetched pages\n",
+		hs.DemandFaults, hs.PrefetchedPages)
+	fmt.Printf("backend: %d offloads, %d CPU fallbacks (%.3g host cycles)\n",
+		bs.Offloads, bs.Fallbacks, bs.CPUCycles)
+	fmt.Printf("NMA: %d ops, %.0f%% conditional\n", ns.Completed, ns.ConditionalFraction()*100)
+}

@@ -1,0 +1,76 @@
+// Webfrontend: the paper's motivating workload (§7) — a DataFrame-style
+// analytics service whose column pages live in an AIFM-like far-memory
+// heap. The same workload runs over the baseline CPU backend and the
+// XFM backend; the example prints the side-by-side swap behavior and
+// host cycle savings.
+//
+// Run with: go run ./examples/webfrontend [-queries N] [-pages N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"xfm/internal/compress"
+	"xfm/internal/dram"
+	"xfm/internal/memctrl"
+	"xfm/internal/nma"
+	"xfm/internal/sfm"
+	"xfm/internal/workload"
+	"xfm/internal/xfm"
+)
+
+func main() {
+	queries := flag.Int("queries", 4000, "queries to run")
+	pages := flag.Int("pages", 512, "column pages in the data set")
+	flag.Parse()
+
+	w := workload.DefaultWebFrontend()
+	w.Queries = *queries
+	w.Pages = *pages
+
+	fmt.Printf("web front-end: %d pages (%.1f MiB of columns), %d queries, hot set %.0f%%\n\n",
+		w.Pages, float64(w.Pages)*sfm.PageSize/(1<<20), w.Queries, w.HotFraction*100)
+
+	// Baseline: zswap-style CPU backend.
+	cpuBackend := sfm.NewCPUBackend(compress.NewXDeflate(), 0)
+	cpuRes, err := w.Run(cpuBackend)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// XFM: same codec, offloaded through the NMA.
+	sim := nma.NewSim(nma.DefaultConfig(dram.Device32Gb))
+	driver := xfm.NewDriver(sim)
+	xfmBackend, err := xfm.NewBackend(compress.NewXDeflate(), 1<<30,
+		driver, memctrl.SkylakeMapping(4, 2, dram.Device32Gb))
+	if err != nil {
+		log.Fatal(err)
+	}
+	xfmRes, err := w.Run(xfmBackend)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	print := func(label string, r workload.Result) {
+		fmt.Printf("%-14s swap-outs=%-5d demand-faults=%-5d prefetches=%-5d ratio=%.2f cycles=%.3g\n",
+			label, r.BackendStats.SwapOuts, r.HeapStats.DemandFaults,
+			r.HeapStats.PrefetchedPages, r.BackendStats.CompressionRatio(),
+			r.BackendStats.CPUCycles)
+	}
+	print("CPU backend:", cpuRes)
+	print("XFM backend:", xfmRes)
+
+	bs := xfmRes.BackendStats
+	fmt.Printf("\nXFM offloaded %d of %d operations (%.1f%%); host cycles cut by %.1f%%\n",
+		bs.Offloads, bs.Offloads+bs.Fallbacks,
+		float64(bs.Offloads)/float64(bs.Offloads+bs.Fallbacks)*100,
+		(1-bs.CPUCycles/cpuRes.BackendStats.CPUCycles)*100)
+	ns := driver.NMAStats()
+	fmt.Printf("NMA: %d completed, conditional share %.1f%%, max SPM occupancy %d KiB\n",
+		ns.Completed, ns.ConditionalFraction()*100, ns.MaxSPMOccupancy>>10)
+	fmt.Printf("observed promotion rate: %.1f%%/min of far memory\n", xfmRes.PromotionRate*100)
+	fmt.Printf("trace: %d swap events over %.1f ms of simulated time\n",
+		len(xfmRes.Trace), float64(xfmRes.Duration)/float64(dram.Millisecond))
+}

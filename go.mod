@@ -1,0 +1,3 @@
+module xfm
+
+go 1.22

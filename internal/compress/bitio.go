@@ -1,0 +1,65 @@
+package compress
+
+// bitWriter packs bits least-significant-first into a byte slice, the
+// same bit order DEFLATE uses.
+type bitWriter struct {
+	buf  []byte
+	acc  uint64
+	nacc uint
+}
+
+func (w *bitWriter) writeBits(v uint32, n uint) {
+	w.acc |= uint64(v) << w.nacc
+	w.nacc += n
+	for w.nacc >= 8 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc >>= 8
+		w.nacc -= 8
+	}
+}
+
+// flush pads the final partial byte with zero bits.
+func (w *bitWriter) flush() []byte {
+	if w.nacc > 0 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc = 0
+		w.nacc = 0
+	}
+	return w.buf
+}
+
+// bitReader consumes bits least-significant-first.
+type bitReader struct {
+	src  []byte
+	pos  int
+	acc  uint64
+	nacc uint
+	bad  bool
+}
+
+func (r *bitReader) fill() {
+	for r.nacc <= 56 && r.pos < len(r.src) {
+		r.acc |= uint64(r.src[r.pos]) << r.nacc
+		r.pos++
+		r.nacc += 8
+	}
+}
+
+// readBits returns the next n bits (n ≤ 32). Reading past the end sets
+// bad and returns zeros.
+func (r *bitReader) readBits(n uint) uint32 {
+	if n == 0 {
+		return 0
+	}
+	if r.nacc < n {
+		r.fill()
+		if r.nacc < n {
+			r.bad = true
+			return 0
+		}
+	}
+	v := uint32(r.acc & ((1 << n) - 1))
+	r.acc >>= n
+	r.nacc -= n
+	return v
+}

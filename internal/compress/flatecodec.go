@@ -1,0 +1,79 @@
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+)
+
+// Flate wraps the standard library's DEFLATE implementation as a
+// reference codec: it validates the from-scratch codecs' ratios and
+// serves as the "hardware deflate" quality target (§2.1, §7).
+type Flate struct {
+	level int
+}
+
+// NewFlate returns the reference codec at flate's default compression
+// level.
+func NewFlate() *Flate { return &Flate{level: flate.DefaultCompression} }
+
+// NewFlateLevel returns a reference codec at the given flate level.
+func NewFlateLevel(level int) *Flate { return &Flate{level: level} }
+
+// Name implements Codec.
+func (f *Flate) Name() string {
+	if f.level == flate.DefaultCompression {
+		return "flate"
+	}
+	return "flate-l" + itoa(f.level)
+}
+
+// Info implements Codec.
+func (f *Flate) Info() CodecInfo {
+	return CodecInfo{
+		CompressCyclesPerByte:   15.0,
+		DecompressCyclesPerByte: 5.0,
+		TypicalRatio:            3.1,
+	}
+}
+
+// MaxCompressedLen implements Codec.
+func (f *Flate) MaxCompressedLen(n int) int {
+	// flate stored blocks add 5 bytes per 64 KiB plus stream overhead.
+	return n + n/65535*5 + 64
+}
+
+// Compress implements Codec.
+func (f *Flate) Compress(dst, src []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(src)))
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, f.level)
+	if err != nil {
+		// Only possible for an invalid level, which the constructors
+		// prevent; fall back to the default level.
+		w, _ = flate.NewWriter(&buf, flate.DefaultCompression)
+	}
+	_, _ = w.Write(src)
+	_ = w.Close()
+	return append(dst, buf.Bytes()...)
+}
+
+// Decompress implements Codec.
+func (f *Flate) Decompress(dst, src []byte) ([]byte, error) {
+	origLen, n, ok := readUvarint(src)
+	if !ok {
+		return dst, ErrCorrupt
+	}
+	r := flate.NewReader(bytes.NewReader(src[n:]))
+	defer r.Close()
+	out := make([]byte, origLen)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return dst, ErrCorrupt
+	}
+	// A valid stream must end exactly here.
+	var one [1]byte
+	if m, _ := r.Read(one[:]); m != 0 {
+		return dst, ErrCorrupt
+	}
+	return append(dst, out...), nil
+}

@@ -1,0 +1,61 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets: round-trip integrity for the encoders and crash-freedom
+// for the decoders on arbitrary input. Run with `go test -fuzz` for
+// deep exploration; `go test` exercises the seed corpus.
+
+func FuzzLZFastRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("hello hello hello"))
+	f.Add(bytes.Repeat([]byte{0}, 5000))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	c := NewLZFast()
+	f.Fuzz(func(t *testing.T, in []byte) {
+		comp := c.Compress(nil, in)
+		out, err := c.Decompress(nil, comp)
+		if err != nil {
+			t.Fatalf("decompress own output: %v", err)
+		}
+		if !bytes.Equal(out, in) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+func FuzzXDeflateRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("abcabcabcabc"))
+	f.Add(bytes.Repeat([]byte("xy"), 3000))
+	c := NewXDeflate()
+	f.Fuzz(func(t *testing.T, in []byte) {
+		comp := c.Compress(nil, in)
+		out, err := c.Decompress(nil, comp)
+		if err != nil {
+			t.Fatalf("decompress own output: %v", err)
+		}
+		if !bytes.Equal(out, in) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecodersNoCrash feeds arbitrary bytes to the decoders: they may
+// reject the input but must never panic or hang.
+func FuzzDecodersNoCrash(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Add(NewLZFast().Compress(nil, []byte("seed")))
+	f.Add(NewXDeflate().Compress(nil, []byte("seed seed seed")))
+	lz := NewLZFast()
+	xd := NewXDeflate()
+	f.Fuzz(func(t *testing.T, in []byte) {
+		_, _ = lz.Decompress(nil, in)
+		_, _ = xd.Decompress(nil, in)
+	})
+}

@@ -1,0 +1,209 @@
+package compress
+
+import "sort"
+
+// Canonical Huffman coding used by the xdeflate codec. Code lengths are
+// limited to huffMaxBits; codes are assigned canonically (by length,
+// then symbol), so a decoder needs only the length table.
+
+const huffMaxBits = 15
+
+// huffBuildLengths computes length-limited Huffman code lengths for the
+// given symbol frequencies. Symbols with zero frequency get length 0.
+// If only one symbol has nonzero frequency it is assigned length 1.
+func huffBuildLengths(freq []int) []uint8 {
+	lengths := make([]uint8, len(freq))
+	var live []int // indexes of unmerged nodes
+	var nodes []nodeRef
+	for s, f := range freq {
+		if f > 0 {
+			nodes = append(nodes, nodeRef{weight: f, sym: s, left: -1, right: -1})
+			live = append(live, len(nodes)-1)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return lengths
+	case 1:
+		lengths[nodes[live[0]].sym] = 1
+		return lengths
+	}
+	for attempt := 0; ; attempt++ {
+		// Standard Huffman construction over the current weights.
+		work := append([]int(nil), live...)
+		sort.Slice(work, func(i, j int) bool {
+			return nodes[work[i]].weight < nodes[work[j]].weight
+		})
+		// Simple two-queue merge: leaves queue + internal queue, both
+		// kept sorted by construction.
+		leaves := work
+		var internal []int
+		pop := func() int {
+			if len(leaves) == 0 {
+				n := internal[0]
+				internal = internal[1:]
+				return n
+			}
+			if len(internal) == 0 || nodes[leaves[0]].weight <= nodes[internal[0]].weight {
+				n := leaves[0]
+				leaves = leaves[1:]
+				return n
+			}
+			n := internal[0]
+			internal = internal[1:]
+			return n
+		}
+		total := len(leaves)
+		for total > 1 {
+			a := pop()
+			b := pop()
+			nodes = append(nodes, nodeRef{weight: nodes[a].weight + nodes[b].weight, sym: -1, left: a, right: b})
+			internal = append(internal, len(nodes)-1)
+			total--
+		}
+		root := pop()
+		// Walk depths iteratively.
+		maxDepth := assignDepths(nodes, root, lengths)
+		if maxDepth <= huffMaxBits {
+			return lengths
+		}
+		// Length overflow: dampen the weights and retry. Each round
+		// halves the dynamic range, converging to equal weights
+		// (a balanced tree) in the worst case.
+		for _, idx := range live {
+			nodes[idx].weight = nodes[idx].weight/2 + 1
+		}
+		nodes = nodes[:len(live)] // drop internal nodes
+		for i := range lengths {
+			lengths[i] = 0
+		}
+	}
+}
+
+// nodeRef is a Huffman tree node: sym >= 0 for leaves, -1 for internal
+// nodes; left/right index into the shared nodes slice.
+type nodeRef struct {
+	weight int
+	sym    int
+	left   int
+	right  int
+}
+
+// assignDepths writes leaf depths into lengths and returns the maximum
+// depth found.
+func assignDepths(nodes []nodeRef, root int, lengths []uint8) int {
+	type item struct {
+		idx   int
+		depth int
+	}
+	maxDepth := 0
+	stack := []item{{root, 0}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := nodes[it.idx]
+		if n.sym >= 0 {
+			d := it.depth
+			if d == 0 {
+				d = 1 // single-symbol tree
+			}
+			lengths[n.sym] = uint8(d)
+			if d > maxDepth {
+				maxDepth = d
+			}
+			continue
+		}
+		stack = append(stack, item{n.left, it.depth + 1}, item{n.right, it.depth + 1})
+	}
+	return maxDepth
+}
+
+// huffCanonicalCodes assigns canonical codes from lengths. The returned
+// codes are bit-reversed for LSB-first emission (like DEFLATE).
+func huffCanonicalCodes(lengths []uint8) []uint32 {
+	codes := make([]uint32, len(lengths))
+	var blCount [huffMaxBits + 1]int
+	for _, l := range lengths {
+		blCount[l]++
+	}
+	blCount[0] = 0
+	var nextCode [huffMaxBits + 1]uint32
+	code := uint32(0)
+	for bits := 1; bits <= huffMaxBits; bits++ {
+		code = (code + uint32(blCount[bits-1])) << 1
+		nextCode[bits] = code
+	}
+	for sym, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		codes[sym] = reverseBits(nextCode[l], uint(l))
+		nextCode[l]++
+	}
+	return codes
+}
+
+func reverseBits(v uint32, n uint) uint32 {
+	var out uint32
+	for i := uint(0); i < n; i++ {
+		out = out<<1 | (v>>i)&1
+	}
+	return out
+}
+
+// huffDecoder decodes canonical codes emitted LSB-first, one bit at a
+// time. Simple but sufficient: xdeflate is a model codec, not a
+// throughput record-setter.
+type huffDecoder struct {
+	// count[l] = number of codes of length l; syms lists symbols in
+	// canonical order.
+	count [huffMaxBits + 1]int
+	syms  []int
+}
+
+func newHuffDecoder(lengths []uint8) *huffDecoder {
+	d := &huffDecoder{}
+	type sl struct {
+		sym int
+		l   uint8
+	}
+	var entries []sl
+	for sym, l := range lengths {
+		if l > 0 {
+			d.count[l]++
+			entries = append(entries, sl{sym, l})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].l != entries[j].l {
+			return entries[i].l < entries[j].l
+		}
+		return entries[i].sym < entries[j].sym
+	})
+	d.syms = make([]int, len(entries))
+	for i, e := range entries {
+		d.syms[i] = e.sym
+	}
+	return d
+}
+
+// decode reads one symbol from r. Returns -1 on corrupt input.
+func (d *huffDecoder) decode(r *bitReader) int {
+	code := 0
+	first := 0
+	index := 0
+	for l := 1; l <= huffMaxBits; l++ {
+		code |= int(r.readBits(1))
+		if r.bad {
+			return -1
+		}
+		count := d.count[l]
+		if code-first < count {
+			return d.syms[index+code-first]
+		}
+		index += count
+		first = (first + count) << 1
+		code <<= 1
+	}
+	return -1
+}

@@ -1,0 +1,180 @@
+package compress
+
+// LZ77 matcher with hash chains used by the xdeflate codec. The window
+// size is configurable so the multi-channel experiments (Fig. 8) can
+// model the reduced per-DIMM compression windows (4 KiB → 2 KiB → 1 KiB).
+
+const (
+	lz77MinMatch = 3
+	lz77MaxMatch = 258
+	lz77HashLog  = 14
+	lz77MaxChain = 32
+)
+
+// lzToken is either a literal (length == 0, lit valid) or a match
+// (length in [3,258], dist in [1,window]).
+type lzToken struct {
+	length uint16
+	dist   uint16
+	lit    byte
+}
+
+// lz77Parse produces the token stream for src with matches limited to
+// the given window. With lazy matching (the standard DEFLATE
+// heuristic) a match is deferred by one position when the next
+// position holds a strictly longer one, trading a literal for a
+// better match.
+func lz77Parse(src []byte, window int, lazy bool) []lzToken {
+	if window < 1 {
+		window = 1
+	}
+	if window > 65535 {
+		window = 65535
+	}
+	tokens := make([]lzToken, 0, len(src)/3+8)
+	var head [1 << lz77HashLog]int32
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int32, len(src))
+	insert := func(pos int) {
+		if pos+lz77MinMatch > len(src) {
+			return
+		}
+		h := lz77Hash(src[pos:])
+		prev[pos] = head[h]
+		head[h] = int32(pos)
+	}
+	findMatch := func(i int) (bestLen, bestDist int) {
+		if i+lz77MinMatch > len(src) {
+			return 0, 0
+		}
+		h := lz77Hash(src[i:])
+		cand := head[h]
+		chain := 0
+		for cand >= 0 && chain < lz77MaxChain {
+			c := int(cand)
+			dist := i - c
+			if dist > window {
+				break
+			}
+			if dist > 0 {
+				l := matchLen(src, c, i)
+				if l > bestLen {
+					bestLen, bestDist = l, dist
+					if l >= lz77MaxMatch {
+						break
+					}
+				}
+			}
+			cand = prev[c]
+			chain++
+		}
+		return bestLen, bestDist
+	}
+	i := 0
+	for i < len(src) {
+		bestLen, bestDist := findMatch(i)
+		if lazy && bestLen >= lz77MinMatch && bestLen < lz77MaxMatch && i+1 < len(src) {
+			// Insert i (it is consumed either way), then peek one
+			// position ahead for a strictly longer match.
+			insert(i)
+			nextLen, nextDist := findMatch(i + 1)
+			firstInsert := 1 // position i is already inserted
+			if nextLen > bestLen {
+				// Emit the current byte as a literal and take the
+				// longer match starting at i+1.
+				tokens = append(tokens, lzToken{lit: src[i]})
+				i++
+				bestLen, bestDist = nextLen, nextDist
+				firstInsert = 0 // the deferred match start is not inserted
+			}
+			tokens = append(tokens, lzToken{length: uint16(bestLen), dist: uint16(bestDist)})
+			for k := firstInsert; k < bestLen; k++ {
+				insert(i + k)
+			}
+			i += bestLen
+			continue
+		}
+		if bestLen >= lz77MinMatch {
+			if bestLen > lz77MaxMatch {
+				bestLen = lz77MaxMatch
+			}
+			tokens = append(tokens, lzToken{length: uint16(bestLen), dist: uint16(bestDist)})
+			// Insert hash entries for every position the match covers
+			// so later matches can reference them.
+			for k := 0; k < bestLen; k++ {
+				insert(i + k)
+			}
+			i += bestLen
+		} else {
+			tokens = append(tokens, lzToken{lit: src[i]})
+			insert(i)
+			i++
+		}
+	}
+	return tokens
+}
+
+// matchLen returns the common-prefix length of src[a:] and src[b:]
+// capped at lz77MaxMatch, with b > a.
+func matchLen(src []byte, a, b int) int {
+	n := 0
+	maxN := len(src) - b
+	if maxN > lz77MaxMatch {
+		maxN = lz77MaxMatch
+	}
+	for n < maxN && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}
+
+func lz77Hash(p []byte) uint32 {
+	v := uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16
+	return (v * 2654435761) >> (32 - lz77HashLog)
+}
+
+// DEFLATE-style length and distance code tables (RFC 1951 §3.2.5).
+
+var lengthBase = [29]int{
+	3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+	35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258,
+}
+
+var lengthExtra = [29]uint{
+	0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+	3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+}
+
+var distBase = [30]int{
+	1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
+	257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145,
+	8193, 12289, 16385, 24577,
+}
+
+var distExtra = [30]uint{
+	0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+	7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13,
+}
+
+// lengthCode maps a match length (3..258) to its length code index
+// (0..28) without a 256-entry table.
+func lengthCode(l int) int {
+	for c := len(lengthBase) - 1; c >= 0; c-- {
+		if l >= lengthBase[c] {
+			return c
+		}
+	}
+	return 0
+}
+
+// distCode maps a distance (1..32768) to its code index (0..29).
+func distCode(d int) int {
+	for c := len(distBase) - 1; c >= 0; c-- {
+		if d >= distBase[c] {
+			return c
+		}
+	}
+	return 0
+}

@@ -1,0 +1,298 @@
+package compress
+
+import "encoding/binary"
+
+// LZFast is a byte-oriented LZ77 codec in the LZO/LZ4 speed class: a
+// single-probe hash table, greedy matching, and a token-based output
+// format with no entropy stage. It stands in for the lzo codec the
+// paper's production SFMs use for low CPU overhead (§2.1).
+//
+// Stream format (little-endian):
+//
+//	varint originalLen
+//	sequence*:
+//	  token byte: hi nibble = literal run length (15 ⇒ extended bytes
+//	              follow, each adding 0-254, terminated by a byte <255);
+//	              lo nibble = match length − 4 (15 ⇒ extended likewise)
+//	  literal bytes
+//	  uint16 match offset (absent in the final sequence)
+//	  extended match length bytes (absent in the final sequence)
+//
+// The final sequence of a stream carries only literals; its token's low
+// nibble is zero and no offset follows.
+type LZFast struct {
+	// maxOffset limits how far back matches may reach. This models the
+	// compression window and is exercised by the multi-channel-mode
+	// experiments (Fig. 8), where per-DIMM windows shrink to 2 KiB and
+	// 1 KiB.
+	maxOffset int
+}
+
+const (
+	lzfMinMatch  = 4
+	lzfMaxOffset = 65535
+	lzfHashLog   = 13
+)
+
+// NewLZFast returns the default LZFast codec with a 64 KiB window.
+func NewLZFast() *LZFast { return &LZFast{maxOffset: lzfMaxOffset} }
+
+// NewLZFastWindow returns an LZFast codec whose matches are limited to
+// the given window in bytes (clamped to [1, 65535]).
+func NewLZFastWindow(window int) *LZFast {
+	if window < 1 {
+		window = 1
+	}
+	if window > lzfMaxOffset {
+		window = lzfMaxOffset
+	}
+	return &LZFast{maxOffset: window}
+}
+
+// Name implements Codec.
+func (z *LZFast) Name() string {
+	if z.maxOffset == lzfMaxOffset {
+		return "lzfast"
+	}
+	return "lzfast-w" + itoa(z.maxOffset)
+}
+
+// Info implements Codec. Constants follow the paper's lzo-class cost:
+// fast compression and very fast decompression.
+func (z *LZFast) Info() CodecInfo {
+	return CodecInfo{
+		CompressCyclesPerByte:   6.0,
+		DecompressCyclesPerByte: 1.5,
+		TypicalRatio:            2.1,
+	}
+}
+
+// MaxCompressedLen implements Codec.
+func (z *LZFast) MaxCompressedLen(n int) int {
+	// varint header + literals + one extension byte per 255 literals
+	// + token overhead.
+	return n + n/255 + 16
+}
+
+// Compress implements Codec.
+func (z *LZFast) Compress(dst, src []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(src)))
+	if len(src) == 0 {
+		return dst
+	}
+	var table [1 << lzfHashLog]int32
+	for i := range table {
+		table[i] = -1
+	}
+	anchor := 0 // start of pending literal run
+	i := 0
+	limit := len(src) - lzfMinMatch
+	for i <= limit {
+		h := lzfHash(binary.LittleEndian.Uint32(src[i:]))
+		cand := int(table[h])
+		table[h] = int32(i)
+		if cand >= 0 && i-cand <= z.maxOffset &&
+			binary.LittleEndian.Uint32(src[cand:]) == binary.LittleEndian.Uint32(src[i:]) {
+			// Extend the match forward.
+			mlen := lzfMinMatch
+			for i+mlen < len(src) && src[cand+mlen] == src[i+mlen] {
+				mlen++
+			}
+			dst = lzfEmit(dst, src[anchor:i], i-cand, mlen)
+			i += mlen
+			anchor = i
+			continue
+		}
+		i++
+	}
+	// Trailing literals-only sequence, omitted when a match consumed
+	// the input exactly.
+	if anchor < len(src) {
+		dst = lzfEmitFinal(dst, src[anchor:])
+	}
+	return dst
+}
+
+// lzfEmit appends one (literals, match) sequence.
+func lzfEmit(dst, lits []byte, offset, mlen int) []byte {
+	litLen := len(lits)
+	matchCode := mlen - lzfMinMatch
+	token := byte(0)
+	if litLen >= 15 {
+		token = 15 << 4
+	} else {
+		token = byte(litLen) << 4
+	}
+	if matchCode >= 15 {
+		token |= 15
+	} else {
+		token |= byte(matchCode)
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = lzfExt(dst, litLen-15)
+	}
+	dst = append(dst, lits...)
+	dst = append(dst, byte(offset), byte(offset>>8))
+	if matchCode >= 15 {
+		dst = lzfExt(dst, matchCode-15)
+	}
+	return dst
+}
+
+// lzfEmitFinal appends the terminal literals-only sequence.
+func lzfEmitFinal(dst, lits []byte) []byte {
+	litLen := len(lits)
+	token := byte(0)
+	if litLen >= 15 {
+		token = 15 << 4
+	} else {
+		token = byte(litLen) << 4
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = lzfExt(dst, litLen-15)
+	}
+	return append(dst, lits...)
+}
+
+// lzfExt encodes an extension count: bytes of 255 followed by the
+// remainder byte (<255).
+func lzfExt(dst []byte, n int) []byte {
+	for n >= 255 {
+		dst = append(dst, 255)
+		n -= 255
+	}
+	return append(dst, byte(n))
+}
+
+// Decompress implements Codec.
+func (z *LZFast) Decompress(dst, src []byte) ([]byte, error) {
+	origLen, n, ok := readUvarint(src)
+	if !ok {
+		return dst, ErrCorrupt
+	}
+	src = src[n:]
+	base := len(dst)
+	want := base + int(origLen)
+	for len(dst) < want {
+		if len(src) == 0 {
+			return dst, ErrCorrupt
+		}
+		token := src[0]
+		src = src[1:]
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			var ext int
+			var err error
+			ext, src, err = lzfReadExt(src)
+			if err != nil {
+				return dst, err
+			}
+			litLen += ext
+		}
+		if litLen > len(src) {
+			return dst, ErrCorrupt
+		}
+		dst = append(dst, src[:litLen]...)
+		src = src[litLen:]
+		if len(dst) == want {
+			// Final literals-only sequence: the match half of the
+			// token must be empty and the stream must end here.
+			if token&0x0f != 0 {
+				return dst, ErrCorrupt
+			}
+			break
+		}
+		if len(dst) > want {
+			return dst, ErrCorrupt
+		}
+		if len(src) < 2 {
+			return dst, ErrCorrupt
+		}
+		offset := int(src[0]) | int(src[1])<<8
+		src = src[2:]
+		mlen := int(token&0x0f) + lzfMinMatch
+		if token&0x0f == 15 {
+			var ext int
+			var err error
+			ext, src, err = lzfReadExt(src)
+			if err != nil {
+				return dst, err
+			}
+			mlen += ext
+		}
+		start := len(dst) - offset
+		if offset == 0 || start < base {
+			return dst, ErrCorrupt
+		}
+		if len(dst)+mlen > want {
+			return dst, ErrCorrupt
+		}
+		// Byte-at-a-time copy: matches may overlap their own output
+		// (run-length encoding via offset < length).
+		for k := 0; k < mlen; k++ {
+			dst = append(dst, dst[start+k])
+		}
+	}
+	if len(src) != 0 {
+		return dst, ErrCorrupt
+	}
+	return dst, nil
+}
+
+func lzfReadExt(src []byte) (int, []byte, error) {
+	ext := 0
+	for {
+		if len(src) == 0 {
+			return 0, src, ErrCorrupt
+		}
+		b := src[0]
+		src = src[1:]
+		ext += int(b)
+		if b < 255 {
+			return ext, src, nil
+		}
+	}
+}
+
+func lzfHash(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - lzfHashLog)
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func readUvarint(src []byte) (v uint64, n int, ok bool) {
+	var shift uint
+	for i, b := range src {
+		if i >= 10 {
+			return 0, 0, false
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, i + 1, true
+		}
+		shift += 7
+	}
+	return 0, 0, false
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

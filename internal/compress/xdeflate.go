@@ -1,0 +1,329 @@
+package compress
+
+// XDeflate is a from-scratch LZ77 + canonical-Huffman codec in the
+// DEFLATE class. It stands in for the Deflate accelerator the paper's
+// NMA implements (§7) and for zstd on the CPU path: slower than LZFast,
+// higher compression ratio.
+//
+// Stream format (little-endian bit order within bytes, like DEFLATE):
+//
+//	varint originalLen
+//	1 byte  block type: 0 = stored, 1 = huffman
+//	stored:  raw bytes
+//	huffman: uint16 maxLitSym, nibble-packed litlen code lengths
+//	         uint8  maxDistSym, nibble-packed dist code lengths
+//	         bit-packed symbol stream terminated by EOB (symbol 256)
+//
+// The litlen alphabet is DEFLATE's: 0-255 literals, 256 end-of-block,
+// 257-285 length codes with extra bits. The distance alphabet is
+// DEFLATE's 30 codes. Code lengths are ≤ 15 so they pack into nibbles
+// only when ≤ 15 — they always are (huffMaxBits = 15).
+type XDeflate struct {
+	window int
+	// lazy enables one-position lazy match deferral (DEFLATE's
+	// classic heuristic); on by default.
+	lazy bool
+}
+
+const (
+	xdLitLenSyms = 286
+	xdDistSyms   = 30
+	xdEOB        = 256
+)
+
+// NewXDeflate returns the default codec with a 32 KiB window and lazy
+// matching.
+func NewXDeflate() *XDeflate { return &XDeflate{window: 32768, lazy: true} }
+
+// NewXDeflateGreedy returns a codec with lazy matching disabled — the
+// faster, lower-ratio parse, used by the greedy-vs-lazy comparison.
+func NewXDeflateGreedy() *XDeflate { return &XDeflate{window: 32768} }
+
+// NewXDeflateWindow returns a codec whose match window is limited to
+// the given size in bytes; used by the Fig. 8 multi-channel study.
+func NewXDeflateWindow(window int) *XDeflate {
+	if window < 1 {
+		window = 1
+	}
+	if window > 32768 {
+		window = 32768
+	}
+	return &XDeflate{window: window, lazy: true}
+}
+
+// Name implements Codec.
+func (x *XDeflate) Name() string {
+	if x.window == 32768 {
+		if !x.lazy {
+			return "xdeflate-greedy"
+		}
+		return "xdeflate"
+	}
+	return "xdeflate-w" + itoa(x.window)
+}
+
+// Info implements Codec. Calibrated to the paper's CCPerGB average
+// (7.65e9 cycles/GB ≈ 7.65 cycles per byte averaged over compress and
+// decompress across the zstd/lzo mix).
+func (x *XDeflate) Info() CodecInfo {
+	return CodecInfo{
+		CompressCyclesPerByte:   12.0,
+		DecompressCyclesPerByte: 4.0,
+		TypicalRatio:            3.0,
+	}
+}
+
+// MaxCompressedLen implements Codec.
+func (x *XDeflate) MaxCompressedLen(n int) int {
+	// varint + block type + stored fallback.
+	return n + 16
+}
+
+// Compress implements Codec.
+func (x *XDeflate) Compress(dst, src []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(src)))
+	if len(src) == 0 {
+		return append(dst, 0) // empty stored block
+	}
+	body := x.encodeHuffman(src)
+	if body == nil || len(body) >= len(src) {
+		dst = append(dst, 0) // stored
+		return append(dst, src...)
+	}
+	dst = append(dst, 1)
+	return append(dst, body...)
+}
+
+func (x *XDeflate) encodeHuffman(src []byte) []byte {
+	tokens := lz77Parse(src, x.window, x.lazy)
+	// Frequency pass.
+	litFreq := make([]int, xdLitLenSyms)
+	distFreq := make([]int, xdDistSyms)
+	for _, t := range tokens {
+		if t.length == 0 {
+			litFreq[t.lit]++
+		} else {
+			litFreq[257+lengthCode(int(t.length))]++
+			distFreq[distCode(int(t.dist))]++
+		}
+	}
+	litFreq[xdEOB]++
+	litLens := huffBuildLengths(litFreq)
+	distLens := huffBuildLengths(distFreq)
+	litCodes := huffCanonicalCodes(litLens)
+	distCodes := huffCanonicalCodes(distLens)
+
+	// Header: trimmed, nibble-packed code length tables.
+	maxLit := maxUsedSym(litLens)
+	maxDist := maxUsedSym(distLens)
+	out := make([]byte, 0, len(src)/2+64)
+	out = append(out, byte(maxLit), byte(maxLit>>8))
+	out = packNibbles(out, litLens[:maxLit+1])
+	out = append(out, byte(maxDist))
+	if maxDist >= 0 {
+		out = packNibbles(out, distLens[:maxDist+1])
+	}
+
+	w := bitWriter{buf: out}
+	emitLit := func(sym int) {
+		w.writeBits(litCodes[sym], uint(litLens[sym]))
+	}
+	for _, t := range tokens {
+		if t.length == 0 {
+			emitLit(int(t.lit))
+			continue
+		}
+		lc := lengthCode(int(t.length))
+		emitLit(257 + lc)
+		w.writeBits(uint32(int(t.length)-lengthBase[lc]), lengthExtra[lc])
+		dc := distCode(int(t.dist))
+		w.writeBits(distCodes[dc], uint(distLens[dc]))
+		w.writeBits(uint32(int(t.dist)-distBase[dc]), distExtra[dc])
+	}
+	emitLit(xdEOB)
+	return w.flush()
+}
+
+// Decompress implements Codec.
+func (x *XDeflate) Decompress(dst, src []byte) ([]byte, error) {
+	origLen, n, ok := readUvarint(src)
+	if !ok {
+		return dst, ErrCorrupt
+	}
+	src = src[n:]
+	if len(src) == 0 {
+		return dst, ErrCorrupt
+	}
+	blockType := src[0]
+	src = src[1:]
+	base := len(dst)
+	want := base + int(origLen)
+	switch blockType {
+	case 0: // stored
+		if len(src) != int(origLen) {
+			return dst, ErrCorrupt
+		}
+		return append(dst, src...), nil
+	case 1:
+		return x.decodeHuffman(dst, src, want, base)
+	default:
+		return dst, ErrCorrupt
+	}
+}
+
+func (x *XDeflate) decodeHuffman(dst, src []byte, want, base int) ([]byte, error) {
+	if len(src) < 2 {
+		return dst, ErrCorrupt
+	}
+	maxLit := int(src[0]) | int(src[1])<<8
+	src = src[2:]
+	if maxLit < xdEOB || maxLit >= xdLitLenSyms {
+		return dst, ErrCorrupt
+	}
+	litLens := make([]uint8, xdLitLenSyms)
+	var ok bool
+	src, ok = unpackNibbles(src, litLens[:maxLit+1])
+	if !ok || len(src) < 1 {
+		return dst, ErrCorrupt
+	}
+	maxDist := int(int8(src[0]))
+	src = src[1:]
+	distLens := make([]uint8, xdDistSyms)
+	if maxDist >= 0 {
+		if maxDist >= xdDistSyms {
+			return dst, ErrCorrupt
+		}
+		src, ok = unpackNibbles(src, distLens[:maxDist+1])
+		if !ok {
+			return dst, ErrCorrupt
+		}
+	}
+	litDec := newHuffDecoder(litLens)
+	distDec := newHuffDecoder(distLens)
+	r := bitReader{src: src}
+	for {
+		sym := litDec.decode(&r)
+		if sym < 0 {
+			return dst, ErrCorrupt
+		}
+		if sym == xdEOB {
+			break
+		}
+		if sym < 256 {
+			if len(dst) >= want {
+				return dst, ErrCorrupt
+			}
+			dst = append(dst, byte(sym))
+			continue
+		}
+		lc := sym - 257
+		if lc >= len(lengthBase) {
+			return dst, ErrCorrupt
+		}
+		length := lengthBase[lc] + int(r.readBits(lengthExtra[lc]))
+		dc := distDec.decode(&r)
+		if dc < 0 || dc >= len(distBase) {
+			return dst, ErrCorrupt
+		}
+		dist := distBase[dc] + int(r.readBits(distExtra[dc]))
+		if r.bad {
+			return dst, ErrCorrupt
+		}
+		start := len(dst) - dist
+		if start < base || len(dst)+length > want {
+			return dst, ErrCorrupt
+		}
+		for k := 0; k < length; k++ {
+			dst = append(dst, dst[start+k])
+		}
+	}
+	if len(dst) != want {
+		return dst, ErrCorrupt
+	}
+	return dst, nil
+}
+
+func maxUsedSym(lens []uint8) int {
+	for i := len(lens) - 1; i >= 0; i-- {
+		if lens[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// packNibbles appends lens (each ≤ 15) as a nibble stream with
+// zero-run-length encoding: a nonzero nibble is a literal code length;
+// a zero nibble is followed by one nibble encoding a run of 1–16
+// zeros. Unused-literal gaps dominate the table, so this keeps the
+// per-block header small enough for the 1 KiB per-DIMM segments of
+// multi-channel mode (Fig. 8).
+func packNibbles(dst []byte, lens []uint8) []byte {
+	var nibs []uint8
+	for i := 0; i < len(lens); {
+		if lens[i] != 0 {
+			nibs = append(nibs, lens[i]&0x0f)
+			i++
+			continue
+		}
+		run := 0
+		for i < len(lens) && lens[i] == 0 && run < 16 {
+			run++
+			i++
+		}
+		nibs = append(nibs, 0, uint8(run-1))
+	}
+	for i := 0; i < len(nibs); i += 2 {
+		b := nibs[i]
+		if i+1 < len(nibs) {
+			b |= nibs[i+1] << 4
+		}
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+// unpackNibbles fills out from src and returns the remaining source.
+func unpackNibbles(src []byte, out []uint8) ([]byte, bool) {
+	pos := 0 // nibble index into src
+	read := func() (uint8, bool) {
+		if pos/2 >= len(src) {
+			return 0, false
+		}
+		b := src[pos/2]
+		var n uint8
+		if pos%2 == 0 {
+			n = b & 0x0f
+		} else {
+			n = b >> 4
+		}
+		pos++
+		return n, true
+	}
+	for i := 0; i < len(out); {
+		n, ok := read()
+		if !ok {
+			return src, false
+		}
+		if n != 0 {
+			out[i] = n
+			i++
+			continue
+		}
+		r, ok := read()
+		if !ok {
+			return src, false
+		}
+		run := int(r) + 1
+		if i+run > len(out) {
+			return src, false
+		}
+		for k := 0; k < run; k++ {
+			out[i+k] = 0
+		}
+		i += run
+	}
+	// Consume padding up to a byte boundary.
+	used := (pos + 1) / 2
+	return src[used:], true
+}

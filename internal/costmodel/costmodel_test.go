@@ -1,0 +1,198 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultParams()
+	bad.ExtraGB = 0
+	if bad.Validate() == nil {
+		t.Error("zero ExtraGB accepted")
+	}
+	bad = DefaultParams()
+	bad.PromotionRate = 1.5
+	if bad.Validate() == nil {
+		t.Error("promotion > 1 accepted")
+	}
+}
+
+func TestEQ1GBSwappedPerMin(t *testing.T) {
+	// §2.1: "A 20% promotion rate for a 512GB far memory implies that
+	// 102GB of the far memory is accessed during a 60-second interval."
+	p := DefaultParams()
+	p.PromotionRate = 0.20
+	if got := p.GBSwappedPerMin(); math.Abs(got-102.4) > 0.01 {
+		t.Errorf("GBSwappedPerMin = %v, want 102.4", got)
+	}
+}
+
+func TestFootnoteSwapBandwidth(t *testing.T) {
+	// Footnote 1: 100% promotion in a 512GB SFM requires (de)compressing
+	// at 8.5 GB/s.
+	p := DefaultParams()
+	p.PromotionRate = 1.0
+	gbps := p.GBSwappedPerMin() / 60
+	if math.Abs(gbps-8.53) > 0.05 {
+		t.Errorf("swap rate = %.2f GB/s, want ≈8.5", gbps)
+	}
+}
+
+func TestCPUNeededFractionAt100(t *testing.T) {
+	// 8.5 GB/s × 7.65e9 cycles/GB ≈ 65 Gcycles/s ≈ 25 cores at 2.6 GHz
+	// ≈ 3.1 8-core sockets.
+	p := DefaultParams()
+	p.PromotionRate = 1.0
+	frac := p.CPUNeededFraction()
+	if frac < 3.0 || frac > 3.3 {
+		t.Errorf("CPU fraction at 100%% = %.2f, want ≈3.1 sockets", frac)
+	}
+}
+
+func TestCostBreakEvenDRAMAt100MatchesPaper(t *testing.T) {
+	// §3.1: "It takes 8.5 years for SFM to break even with the cost of
+	// a DRAM-based DFM" at 100% promotion.
+	p := DefaultParams()
+	p.PromotionRate = 1.0
+	years, ok := p.CostBreakEvenYears(DRAM, 50)
+	if !ok {
+		t.Fatal("no cost break-even found for DRAM at 100%")
+	}
+	if years < 7 || years > 10 {
+		t.Errorf("break-even = %.1f years, paper reports 8.5", years)
+	}
+}
+
+func TestSFMCheaperThanPMemAt20(t *testing.T) {
+	// §3.1: "at a 20% promotion rate, SFM may prove more cost-effective,
+	// even when compared to a PMem-based DFM" — no break-even within a
+	// server lifetime.
+	p := DefaultParams()
+	p.PromotionRate = 0.20
+	if years, ok := p.CostBreakEvenYears(PMem, 10); ok {
+		t.Errorf("SFM overtook PMem-DFM cost at %.1f years; want > 10", years)
+	}
+	// SFM must actually be cheaper over the 5-year lifetime.
+	if p.SFMCost(5) >= p.DFMCost(PMem, 5) {
+		t.Error("SFM not cheaper than PMem DFM over 5 years at 20%")
+	}
+}
+
+func TestEmissionDRAMNeverBreaksEvenIn5Years(t *testing.T) {
+	// §3.1: "DRAM-based DFM and SFM never break even in terms of carbon
+	// emissions during the typical 5-year lifetime of a server."
+	p := DefaultParams()
+	p.PromotionRate = 0.20
+	if years, ok := p.EmissionBreakEvenYears(DRAM, 5); ok {
+		t.Errorf("emissions broke even at %.1f years; want never within 5", years)
+	}
+	if p.SFMEmission(5) >= p.DFMEmission(DRAM, 5) {
+		t.Error("SFM emissions not below DRAM-DFM over 5 years at 20%")
+	}
+}
+
+func TestEmissionPMemBreaksEvenInSeveralYears(t *testing.T) {
+	// §3.1: "Even with PMem, it can take several years for SFM with a
+	// 20% promotion rate to break even in emissions."
+	p := DefaultParams()
+	p.PromotionRate = 0.20
+	years, ok := p.EmissionBreakEvenYears(PMem, 20)
+	if !ok {
+		t.Fatal("no PMem emission break-even found")
+	}
+	if years < 2 || years > 6 {
+		t.Errorf("PMem emission break-even = %.1f years, want 'several' (2-6)", years)
+	}
+}
+
+func TestAcceleratorBeneficialPromotion(t *testing.T) {
+	// §3.2: "an integrated hardware accelerator becomes beneficial when
+	// the average promotion rate is higher than 6% in a 512GB SFM."
+	p := DefaultParams()
+	got := p.AcceleratorBeneficialPromotion()
+	if got < 0.04 || got > 0.08 {
+		t.Errorf("accelerator break-even promotion = %.3f, want ≈0.06", got)
+	}
+}
+
+func TestCostMonotonicInPromotionRate(t *testing.T) {
+	f := func(raw uint8) bool {
+		p := DefaultParams()
+		r1 := float64(raw%50) / 100
+		r2 := r1 + 0.3
+		p.PromotionRate = r1
+		c1 := p.SFMCost(5)
+		p.PromotionRate = r2
+		c2 := p.SFMCost(5)
+		return c2 >= c1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostsMonotonicInTime(t *testing.T) {
+	p := DefaultParams()
+	for _, tech := range []MemoryTech{DRAM, PMem} {
+		prevD, prevS, prevDE, prevSE := -1.0, -1.0, -1.0, -1.0
+		for y := 0.0; y <= 10; y += 0.5 {
+			d, s := p.DFMCost(tech, y), p.SFMCost(y)
+			de, se := p.DFMEmission(tech, y), p.SFMEmission(y)
+			if d < prevD || s < prevS || de < prevDE || se < prevSE {
+				t.Fatalf("%v: cumulative curve decreased at year %.1f", tech, y)
+			}
+			prevD, prevS, prevDE, prevSE = d, s, de, se
+		}
+	}
+}
+
+func TestDFMUpfrontDominatesAtYearZero(t *testing.T) {
+	p := DefaultParams()
+	if got, want := p.DFMCost(DRAM, 0), p.ExtraGB*p.DRAMCostPerGB; got != want {
+		t.Errorf("DFM cost at year 0 = %v, want upfront %v", got, want)
+	}
+	if got, want := p.DFMEmission(PMem, 0), p.ExtraGB*p.PMemEmissionPerGB; got != want {
+		t.Errorf("PMem embodied = %v, want %v", got, want)
+	}
+}
+
+func TestPMemCheaperUpfrontThanDRAM(t *testing.T) {
+	p := DefaultParams()
+	if p.DFMCost(PMem, 0) >= p.DFMCost(DRAM, 0) {
+		t.Error("PMem DFM should be cheaper upfront than DRAM DFM")
+	}
+	if p.DFMEmission(PMem, 0) >= p.DFMEmission(DRAM, 0) {
+		t.Error("PMem DFM should have lower embodied emissions (2× density)")
+	}
+}
+
+func TestBreakEvenEdgeCases(t *testing.T) {
+	p := DefaultParams()
+	p.PromotionRate = 1.0
+	// Make SFM more expensive from the start: huge CPU price.
+	p.CPUPurchasePrice = 1e9
+	if _, ok := p.CostBreakEvenYears(DRAM, 50); ok {
+		t.Error("break-even reported when SFM starts more expensive")
+	}
+}
+
+func TestMemoryTechString(t *testing.T) {
+	if DRAM.String() != "DRAM" || PMem.String() != "PMem" {
+		t.Error("MemoryTech String broken")
+	}
+}
+
+func BenchmarkCostSweep(b *testing.B) {
+	p := DefaultParams()
+	for i := 0; i < b.N; i++ {
+		for y := 0.0; y <= 10; y += 0.1 {
+			_ = p.DFMCost(DRAM, y)
+			_ = p.SFMCost(y)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package costmodel
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Sensitivity analysis of the §3 model: because several constants are
+// not printed in the paper (memory prices, per-cycle energy), the
+// break-even conclusions must be robust to them. SensitivityOf sweeps
+// each parameter ±`swing` and reports how far the DRAM-DFM cost
+// break-even year moves — a tornado-chart input.
+
+// SensitivityRow is one parameter's effect.
+type SensitivityRow struct {
+	Param string
+	// LowYears / HighYears are the break-even years at (1−swing)× and
+	// (1+swing)× the parameter. 0 with OK=false means no break-even
+	// within the horizon.
+	LowYears, HighYears float64
+	LowOK, HighOK       bool
+	// Spread is |HighYears − LowYears| when both exist, else the
+	// horizon (maximally sensitive).
+	Spread float64
+}
+
+// paramAccessor mutates one Params field multiplicatively.
+type paramAccessor struct {
+	name  string
+	apply func(p *Params, factor float64)
+}
+
+func accessors() []paramAccessor {
+	return []paramAccessor{
+		{"DRAMCostPerGB", func(p *Params, f float64) { p.DRAMCostPerGB *= f }},
+		{"CPUPurchasePrice", func(p *Params, f float64) { p.CPUPurchasePrice *= f }},
+		{"CCPerGB", func(p *Params, f float64) { p.CCPerGB *= f }},
+		{"CycleEnergyNJ", func(p *Params, f float64) { p.CycleEnergyNJ *= f }},
+		{"ElectricityCost", func(p *Params, f float64) { p.ElectricityCost *= f }},
+		{"IdleDIMMWatts", func(p *Params, f float64) { p.IdleDIMMWatts *= f }},
+		{"PromotionRate", func(p *Params, f float64) {
+			p.PromotionRate *= f
+			if p.PromotionRate > 1 {
+				p.PromotionRate = 1
+			}
+		}},
+	}
+}
+
+// SensitivityOf sweeps every parameter ±swing around base and returns
+// rows sorted by decreasing spread of the DRAM cost break-even year.
+func SensitivityOf(base Params, swing, horizon float64) []SensitivityRow {
+	rows := make([]SensitivityRow, 0, len(accessors()))
+	for _, a := range accessors() {
+		var row SensitivityRow
+		row.Param = a.name
+
+		lo := base
+		a.apply(&lo, 1-swing)
+		row.LowYears, row.LowOK = lo.CostBreakEvenYears(DRAM, horizon)
+
+		hi := base
+		a.apply(&hi, 1+swing)
+		row.HighYears, row.HighOK = hi.CostBreakEvenYears(DRAM, horizon)
+
+		switch {
+		case row.LowOK && row.HighOK:
+			row.Spread = row.HighYears - row.LowYears
+			if row.Spread < 0 {
+				row.Spread = -row.Spread
+			}
+		case row.LowOK || row.HighOK:
+			row.Spread = horizon
+		default:
+			row.Spread = 0
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Spread > rows[j].Spread })
+	return rows
+}
+
+// BreakEvenRobust reports whether the DRAM cost break-even stays
+// within [minYears, maxYears] for every single-parameter perturbation
+// of ±swing — the check that the paper's 8.5-year conclusion is not an
+// artifact of one fitted constant.
+func BreakEvenRobust(base Params, swing, minYears, maxYears, horizon float64) bool {
+	for _, r := range SensitivityOf(base, swing, horizon) {
+		for _, ok := range []struct {
+			ok bool
+			y  float64
+		}{{r.LowOK, r.LowYears}, {r.HighOK, r.HighYears}} {
+			if !ok.ok {
+				return false
+			}
+			if ok.y < minYears || ok.y > maxYears {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MonteCarloResult summarizes a sampled break-even distribution.
+type MonteCarloResult struct {
+	Samples int
+	// NoBreakEvenFrac is the fraction of samples where SFM never
+	// catches DFM within the horizon (SFM stays cheaper throughout).
+	NoBreakEvenFrac float64
+	// UpfrontLossFrac is the fraction where SFM starts more expensive.
+	UpfrontLossFrac float64
+	// P10, P50, P90 are percentiles of the break-even year among
+	// samples that have one.
+	P10, P50, P90 float64
+}
+
+// MonteCarloBreakEven samples every model parameter independently and
+// uniformly within ±swing and returns the distribution of the
+// DRAM-DFM cost break-even year. Deterministic for a given seed.
+func MonteCarloBreakEven(base Params, swing float64, samples int, seed int64, horizon float64) MonteCarloResult {
+	rng := rand.New(rand.NewSource(seed))
+	var years []float64
+	res := MonteCarloResult{Samples: samples}
+	none, upfront := 0, 0
+	for i := 0; i < samples; i++ {
+		p := base
+		for _, a := range accessors() {
+			a.apply(&p, 1-swing+2*swing*rng.Float64())
+		}
+		if p.SFMCost(0) >= p.DFMCost(DRAM, 0) {
+			upfront++
+			continue
+		}
+		if y, ok := p.CostBreakEvenYears(DRAM, horizon); ok {
+			years = append(years, y)
+		} else {
+			none++
+		}
+	}
+	res.NoBreakEvenFrac = float64(none) / float64(samples)
+	res.UpfrontLossFrac = float64(upfront) / float64(samples)
+	if len(years) > 0 {
+		sort.Float64s(years)
+		pick := func(q float64) float64 {
+			i := int(q * float64(len(years)-1))
+			return years[i]
+		}
+		res.P10, res.P50, res.P90 = pick(0.1), pick(0.5), pick(0.9)
+	}
+	return res
+}

@@ -1,0 +1,208 @@
+package dataframe
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xfm/internal/dram"
+	"xfm/internal/sfm"
+)
+
+// FarMap is an int64→int64 hash table whose buckets live in far-memory
+// pages — the remoteable-hashtable counterpart of AIFM's data
+// structures, over the same sfm.Heap as the DataFrame columns. In
+// AIFM's style, the small occupancy metadata stays in local memory (2
+// bits per slot) while keys and values live in far-memory pages, so
+// probing only faults pages that actually hold candidate entries.
+// Linear probing with tombstones; fixed capacity (the SFM use case
+// stores precomputed indexes, not growing maps).
+type FarMap struct {
+	heap  *sfm.Heap
+	pages []sfm.PageID
+	// state holds 2 bits per slot: 0 empty, 1 live, 2 tombstone.
+	state []byte
+	slots int // total bucket count (power of two)
+	used  int
+	dead  int
+}
+
+const (
+	slotBytes    = 16 // key + value
+	slotsPerPage = sfm.PageSize / slotBytes
+
+	slotEmpty = 0
+	slotLive  = 1
+	slotTomb  = 2
+)
+
+// NewFarMap builds a map with capacity for roughly `capacity` entries
+// at 70% load.
+func NewFarMap(now dram.Ps, heap *sfm.Heap, capacity int) *FarMap {
+	if capacity < 1 {
+		capacity = 1
+	}
+	slots := 1
+	for slots < capacity*10/7 {
+		slots *= 2
+	}
+	if slots < slotsPerPage {
+		slots = slotsPerPage
+	}
+	m := &FarMap{heap: heap, slots: slots, state: make([]byte, (slots+3)/4)}
+	npages := (slots + slotsPerPage - 1) / slotsPerPage
+	zero := make([]byte, sfm.PageSize)
+	for i := 0; i < npages; i++ {
+		m.pages = append(m.pages, heap.Alloc(now, zero))
+	}
+	return m
+}
+
+// Len returns the number of live entries.
+func (m *FarMap) Len() int { return m.used }
+
+// Pages returns the number of far-memory pages backing the table.
+func (m *FarMap) Pages() int { return len(m.pages) }
+
+func (m *FarMap) slotState(i int) byte {
+	return m.state[i/4] >> uint(2*(i%4)) & 3
+}
+
+func (m *FarMap) setSlotState(i int, s byte) {
+	shift := uint(2 * (i % 4))
+	m.state[i/4] = m.state[i/4]&^(3<<shift) | s<<shift
+}
+
+func hash64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// slotAt touches the page holding slot i and returns the page buffer
+// plus the byte offset of the slot.
+func (m *FarMap) slotAt(now dram.Ps, i int) ([]byte, int, error) {
+	page, err := m.heap.Touch(now, m.pages[i/slotsPerPage])
+	if err != nil {
+		return nil, 0, err
+	}
+	return page, (i % slotsPerPage) * slotBytes, nil
+}
+
+func (m *FarMap) writeSlot(now dram.Ps, i int, key, value int64) error {
+	page, off, err := m.slotAt(now, i)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(page[off:], uint64(key))
+	binary.LittleEndian.PutUint64(page[off+8:], uint64(value))
+	return nil
+}
+
+// Put inserts or updates key → value. It fails when the table is full.
+func (m *FarMap) Put(now dram.Ps, key, value int64) error {
+	idx := int(hash64(uint64(key)) & uint64(m.slots-1))
+	firstTomb := -1
+	for probe := 0; probe < m.slots; probe++ {
+		switch m.slotState(idx) {
+		case slotLive:
+			page, off, err := m.slotAt(now, idx)
+			if err != nil {
+				return err
+			}
+			if int64(binary.LittleEndian.Uint64(page[off:])) == key {
+				binary.LittleEndian.PutUint64(page[off+8:], uint64(value))
+				return nil
+			}
+		case slotEmpty:
+			target := idx
+			if firstTomb >= 0 {
+				target = firstTomb
+				m.dead--
+			}
+			if err := m.writeSlot(now, target, key, value); err != nil {
+				return err
+			}
+			m.setSlotState(target, slotLive)
+			m.used++
+			return nil
+		case slotTomb:
+			if firstTomb < 0 {
+				firstTomb = idx
+			}
+		}
+		idx = (idx + 1) & (m.slots - 1)
+	}
+	if firstTomb >= 0 {
+		if err := m.writeSlot(now, firstTomb, key, value); err != nil {
+			return err
+		}
+		m.setSlotState(firstTomb, slotLive)
+		m.used++
+		m.dead--
+		return nil
+	}
+	return fmt.Errorf("dataframe: FarMap full (%d slots)", m.slots)
+}
+
+// Get returns the value under key.
+func (m *FarMap) Get(now dram.Ps, key int64) (int64, bool, error) {
+	idx := int(hash64(uint64(key)) & uint64(m.slots-1))
+	for probe := 0; probe < m.slots; probe++ {
+		switch m.slotState(idx) {
+		case slotEmpty:
+			return 0, false, nil
+		case slotLive:
+			page, off, err := m.slotAt(now, idx)
+			if err != nil {
+				return 0, false, err
+			}
+			if int64(binary.LittleEndian.Uint64(page[off:])) == key {
+				return int64(binary.LittleEndian.Uint64(page[off+8:])), true, nil
+			}
+		}
+		idx = (idx + 1) & (m.slots - 1)
+	}
+	return 0, false, nil
+}
+
+// Delete removes key, returning whether it was present.
+func (m *FarMap) Delete(now dram.Ps, key int64) (bool, error) {
+	idx := int(hash64(uint64(key)) & uint64(m.slots-1))
+	for probe := 0; probe < m.slots; probe++ {
+		switch m.slotState(idx) {
+		case slotEmpty:
+			return false, nil
+		case slotLive:
+			page, off, err := m.slotAt(now, idx)
+			if err != nil {
+				return false, err
+			}
+			if int64(binary.LittleEndian.Uint64(page[off:])) == key {
+				m.setSlotState(idx, slotTomb)
+				m.used--
+				m.dead++
+				return true, nil
+			}
+		}
+		idx = (idx + 1) & (m.slots - 1)
+	}
+	return false, nil
+}
+
+// Demote pushes every bucket page to far memory (cold index). The
+// local metadata stays resident, so lookups of absent keys still
+// complete without touching far memory at all.
+func (m *FarMap) Demote(now dram.Ps) int {
+	n := 0
+	for _, id := range m.pages {
+		if m.heap.Resident(id) {
+			if m.heap.SwapOut(now, id) == nil {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,181 @@
+package dataframe
+
+import (
+	"math/rand"
+	"testing"
+
+	"xfm/internal/compress"
+	"xfm/internal/dram"
+	"xfm/internal/sfm"
+)
+
+func newMap(capacity int) (*FarMap, *sfm.Heap) {
+	h := sfm.NewHeap(sfm.NewCPUBackend(compress.NewLZFast(), 0))
+	return NewFarMap(0, h, capacity), h
+}
+
+func TestFarMapBasicOps(t *testing.T) {
+	m, _ := newMap(100)
+	if m.Len() != 0 {
+		t.Fatal("new map not empty")
+	}
+	if err := m.Put(0, 42, 420); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := m.Get(0, 42)
+	if err != nil || !ok || v != 420 {
+		t.Fatalf("Get = %d,%v,%v", v, ok, err)
+	}
+	// Update in place.
+	m.Put(0, 42, 421)
+	if v, _, _ := m.Get(0, 42); v != 421 {
+		t.Errorf("update lost: %d", v)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d after update, want 1", m.Len())
+	}
+	if _, ok, _ := m.Get(0, 999); ok {
+		t.Error("missing key found")
+	}
+	deleted, err := m.Delete(0, 42)
+	if err != nil || !deleted {
+		t.Fatalf("Delete = %v,%v", deleted, err)
+	}
+	if _, ok, _ := m.Get(0, 42); ok {
+		t.Error("deleted key still found")
+	}
+	if deleted, _ := m.Delete(0, 42); deleted {
+		t.Error("double delete succeeded")
+	}
+}
+
+func TestFarMapNegativeAndSentinelKeys(t *testing.T) {
+	m, _ := newMap(16)
+	// Keys that would collide with naive sentinel encodings.
+	for _, k := range []int64{0, 1, -1, -2, 1 << 62, -(1 << 62)} {
+		if err := m.Put(0, k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []int64{0, 1, -1, -2, 1 << 62, -(1 << 62)} {
+		v, ok, err := m.Get(0, k)
+		if err != nil || !ok || v != k*3 {
+			t.Errorf("key %d: got %d,%v,%v", k, v, ok, err)
+		}
+	}
+}
+
+func TestFarMapChurnAgainstReference(t *testing.T) {
+	m, _ := newMap(2000)
+	ref := map[int64]int64{}
+	rng := rand.New(rand.NewSource(5))
+	for op := 0; op < 20000; op++ {
+		now := dram.Ps(op) * dram.Microsecond
+		k := int64(rng.Intn(3000) - 1500)
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Int63()
+			if err := m.Put(now, k, v); err != nil {
+				t.Fatal(err)
+			}
+			ref[k] = v
+		case 1:
+			got, ok, err := m.Get(now, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wok := ref[k]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("op %d: Get(%d) = %d,%v; want %d,%v", op, k, got, ok, want, wok)
+			}
+		case 2:
+			got, err := m.Delete(now, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, k, got, want)
+			}
+			delete(ref, k)
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, m.Len(), len(ref))
+		}
+	}
+}
+
+func TestFarMapFull(t *testing.T) {
+	m, _ := newMap(1) // one page worth of slots (256)
+	var err error
+	full := false
+	for i := 0; i < 10000; i++ {
+		if err = m.Put(0, int64(i), 1); err != nil {
+			full = true
+			break
+		}
+	}
+	if !full {
+		t.Error("fixed-capacity map never filled")
+	}
+}
+
+func TestFarMapQueryThroughFarMemory(t *testing.T) {
+	m, h := newMap(1000)
+	for i := int64(0); i < 500; i++ {
+		if err := m.Put(0, i, i*i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	demoted := m.Demote(dram.Second)
+	if demoted != m.Pages() {
+		t.Fatalf("demoted %d of %d pages", demoted, m.Pages())
+	}
+	// Lookups of present keys fault pages back.
+	for i := int64(0); i < 500; i += 50 {
+		v, ok, err := m.Get(2*dram.Second, i)
+		if err != nil || !ok || v != i*i {
+			t.Fatalf("Get(%d) after demotion = %d,%v,%v", i, v, ok, err)
+		}
+	}
+	if h.Stats().DemandFaults == 0 {
+		t.Error("no faults despite demoted table")
+	}
+}
+
+func TestFarMapAbsentLookupsTouchNothingWhenDemoted(t *testing.T) {
+	m, h := newMap(256)
+	m.Put(0, 7, 70)
+	m.Demote(dram.Second)
+	before := h.Stats().DemandFaults
+	// A key whose probe run hits only empty slots resolves from local
+	// metadata without touching far memory.
+	missProbes := 0
+	for k := int64(1000); k < 1100; k++ {
+		if _, ok, err := m.Get(2*dram.Second, k); err != nil {
+			t.Fatal(err)
+		} else if !ok {
+			missProbes++
+		}
+	}
+	after := h.Stats().DemandFaults
+	if missProbes == 0 {
+		t.Fatal("no misses exercised")
+	}
+	// Some lookups may land on the lone live slot's chain, but most
+	// must resolve metadata-only.
+	if after-before > 5 {
+		t.Errorf("%d faults for %d absent-key lookups; metadata should absorb most", after-before, missProbes)
+	}
+}
+
+func BenchmarkFarMapGet(b *testing.B) {
+	m, _ := newMap(100000)
+	for i := int64(0); i < 100000; i++ {
+		m.Put(0, i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(dram.Ps(i), int64(i%100000))
+	}
+}

@@ -1,0 +1,143 @@
+package dram
+
+// BankState is the row-buffer state of a bank.
+type BankState int
+
+// Bank states.
+const (
+	BankPrecharged BankState = iota
+	BankActive
+)
+
+func (s BankState) String() string {
+	switch s {
+	case BankPrecharged:
+		return "precharged"
+	case BankActive:
+		return "active"
+	default:
+		return "invalid"
+	}
+}
+
+// Bank models one DRAM bank's row buffer and command timing state.
+// With the XFM extension (Fig. 7), each subarray additionally has a
+// row-decoder latch and a local-bitline isolation latch, so one
+// subarray can be accessed while rows in other subarrays refresh; the
+// extension is modeled by the subarray-granular busy times kept by
+// Rank, not here.
+type Bank struct {
+	state   BankState
+	openRow int
+
+	// Earliest times the next command of each kind may be accepted.
+	nextACT Ps
+	nextRD  Ps
+	nextWR  Ps
+	nextPRE Ps
+
+	// Stats.
+	acts, reads, writes, pres, rowHits, rowMisses int64
+}
+
+// State returns the current row-buffer state.
+func (b *Bank) State() BankState { return b.state }
+
+// OpenRow returns the open row; only meaningful when State is
+// BankActive.
+func (b *Bank) OpenRow() int { return b.openRow }
+
+// cmdReady returns max(now, t).
+func cmdReady(now, t Ps) Ps {
+	if t > now {
+		return t
+	}
+	return now
+}
+
+// Activate opens row at the earliest legal time ≥ now and returns the
+// time the activation command issues. The caller must ensure the bank
+// is precharged.
+func (b *Bank) Activate(now Ps, row int, t Timings) Ps {
+	at := cmdReady(now, b.nextACT)
+	b.state = BankActive
+	b.openRow = row
+	b.acts++
+	b.nextRD = at + t.TRCD
+	b.nextWR = at + t.TRCD
+	b.nextPRE = at + t.TRAS
+	b.nextACT = at + t.TRC
+	return at
+}
+
+// Precharge closes the open row at the earliest legal time ≥ now and
+// returns the time the bank becomes precharged (ready for ACT).
+func (b *Bank) Precharge(now Ps, t Timings) Ps {
+	at := cmdReady(now, b.nextPRE)
+	b.state = BankPrecharged
+	b.pres++
+	done := at + t.TRP
+	if done > b.nextACT {
+		b.nextACT = done
+	}
+	return done
+}
+
+// Read issues a column read at the earliest legal time ≥ now and
+// returns (issueAt, dataDoneAt): the command issue time and the time
+// the last data beat leaves the bank. The caller must ensure the bank
+// is active on the right row.
+func (b *Bank) Read(now Ps, t Timings) (issueAt, dataDoneAt Ps) {
+	at := cmdReady(now, b.nextRD)
+	b.reads++
+	// Back-to-back column commands are separated by the burst time.
+	b.nextRD = at + t.TBurst
+	b.nextWR = at + t.TBurst
+	return at, at + t.TCL + t.TBurst
+}
+
+// Write issues a column write at the earliest legal time ≥ now and
+// returns (issueAt, dataDoneAt).
+func (b *Bank) Write(now Ps, t Timings) (issueAt, dataDoneAt Ps) {
+	at := cmdReady(now, b.nextWR)
+	b.writes++
+	b.nextRD = at + t.TBurst
+	b.nextWR = at + t.TBurst
+	return at, at + t.TCWL + t.TBurst
+}
+
+// blockUntil forbids all commands before t (used by all-bank refresh).
+func (b *Bank) blockUntil(t Ps) {
+	if t > b.nextACT {
+		b.nextACT = t
+	}
+	if t > b.nextRD {
+		b.nextRD = t
+	}
+	if t > b.nextWR {
+		b.nextWR = t
+	}
+	if t > b.nextPRE {
+		b.nextPRE = t
+	}
+}
+
+// forceClose precharges the bank instantaneously as part of a refresh
+// cycle (refresh semantics are a series of ACT/PRE pairs, and the bank
+// ends precharged; §5 notes the CPU controller "starts fresh" after
+// each refresh).
+func (b *Bank) forceClose() { b.state = BankPrecharged }
+
+// BankStats is a read-only snapshot of per-bank counters.
+type BankStats struct {
+	ACTs, Reads, Writes, PREs int64
+	RowHits, RowMisses        int64
+}
+
+// Stats returns a snapshot of the bank's counters.
+func (b *Bank) Stats() BankStats {
+	return BankStats{
+		ACTs: b.acts, Reads: b.reads, Writes: b.writes, PREs: b.pres,
+		RowHits: b.rowHits, RowMisses: b.rowMisses,
+	}
+}

@@ -1,0 +1,62 @@
+package dram
+
+// Fig. 6b timing: a conditional read streams a 4 KiB page out of the
+// two banks holding it while their rows are activated for refresh.
+// This file derives, from the timing parameters alone, how long one
+// conditional page access takes and how many fit in a tRFC window —
+// reproducing the paper's "110 ns" example and Table 1's 4/3/2
+// budgets (§5).
+
+// conditionalChunkBytes is the data one burst slot moves during a
+// conditional access in the Fig. 6b illustration: the page's two banks
+// alternate, each bursting 16 B per chip × 8 chips = 128 B, so a 4 KiB
+// page streams out in 32 burst slots ("tRCD + tCL + 32 × tBURST").
+const conditionalChunkBytes = 128
+
+// ConditionalReadLatency returns the time to stream one page of
+// pageBytes out of a rank during a refresh window: tRCD + tCL +
+// bursts × tBURST with the Fig. 6b two-bank alternation. For a 4 KiB
+// page at DDR5-3200 this is 14.4 + 14.4 + 32 × 2.5 ≈ 110 ns, the
+// paper's example.
+func ConditionalReadLatency(t Timings, pageBytes int) Ps {
+	bursts := Ps((pageBytes + conditionalChunkBytes - 1) / conditionalChunkBytes)
+	return t.TRCD + t.TCL + bursts*t.TBurst
+}
+
+// conditionalStreamTime returns the steady-state cost of one
+// additional conditional page access when the row-activation pipeline
+// of the next access overlaps the tail of the previous burst (§5:
+// "tRCD + tCL for subsequent accesses can be overlapped with the tail
+// of the previous burst"): just the data-burst time.
+func conditionalStreamTime(t Timings, pageBytes int) Ps {
+	bursts := Ps((pageBytes + conditionalChunkBytes - 1) / conditionalChunkBytes)
+	return bursts * t.TBurst
+}
+
+// MaxConditionalAccesses derives the number of pageBytes-sized
+// conditional accesses that fit in one tRFC window: the first access
+// pays the full ConditionalReadLatency; each further access pays only
+// its burst time thanks to pipeline overlap.
+func MaxConditionalAccesses(t Timings, trfc Ps, pageBytes int) int {
+	first := ConditionalReadLatency(t, pageBytes)
+	if trfc < first {
+		return 0
+	}
+	n := 1
+	remaining := trfc - first
+	step := conditionalStreamTime(t, pageBytes)
+	if step <= 0 {
+		return n
+	}
+	n += int(remaining / step)
+	return n
+}
+
+// DeriveConditionalBudget computes the Table 1 / §5 conditional access
+// budget for a device: 4 KiB pages at DDR5-3200 timing with the
+// device's tRFC. The paper reports 4, 3, and 2 for 32, 16, and 8 Gb
+// chips.
+func DeriveConditionalBudget(dev DeviceConfig) int {
+	t := DDR5_3200().WithTRFC(dev.TRFC)
+	return MaxConditionalAccesses(t, dev.TRFC, 4096)
+}

@@ -1,0 +1,68 @@
+package dram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIdleDIMMWattsNearCostModelFigure(t *testing.T) {
+	// EQ2.2 charges 4 W of static power per extra DIMM; the IDD-based
+	// derivation should land in the same regime for a 2-rank, 8-chip
+	// DIMM (ECC chips excluded).
+	w := IdleDIMMWatts(DDR5PowerParams(), 2, 8)
+	if w < 0.5 || w > 6 {
+		t.Errorf("idle DIMM = %.2f W, want same order as the 4 W EQ2.2 figure", w)
+	}
+}
+
+func TestRankEnergyComponents(t *testing.T) {
+	pp := DDR5PowerParams()
+	st := RankStats{
+		REFs:        8192,
+		RowMisses:   1000,
+		ReadBursts:  50000,
+		WriteBursts: 20000,
+	}
+	use := RankEnergy(pp, st, Device32Gb, 32*Millisecond, 8, 0.5)
+	if use.BackgroundNJ <= 0 || use.ActivateNJ <= 0 || use.ReadNJ <= 0 ||
+		use.WriteNJ <= 0 || use.RefreshNJ <= 0 {
+		t.Fatalf("missing component: %+v", use)
+	}
+	sum := use.BackgroundNJ + use.ActivateNJ + use.ReadNJ + use.WriteNJ + use.RefreshNJ
+	if math.Abs(sum-use.TotalNJ()) > 1e-6 {
+		t.Error("TotalNJ mismatch")
+	}
+	if w := use.AverageWatts(32 * Millisecond); w <= 0 || w > 50 {
+		t.Errorf("average power = %.2f W implausible", w)
+	}
+	if use.AverageWatts(0) != 0 {
+		t.Error("zero interval should yield 0")
+	}
+}
+
+func TestRankEnergyActiveFracMonotone(t *testing.T) {
+	pp := DDR5PowerParams()
+	st := RankStats{}
+	lo := RankEnergy(pp, st, Device32Gb, Second, 8, 0).BackgroundNJ
+	hi := RankEnergy(pp, st, Device32Gb, Second, 8, 1).BackgroundNJ
+	if hi <= lo {
+		t.Error("active standby should cost more than precharge standby")
+	}
+	// Clamping.
+	if RankEnergy(pp, st, Device32Gb, Second, 8, 2).BackgroundNJ != hi {
+		t.Error("activeFrac not clamped high")
+	}
+	if RankEnergy(pp, st, Device32Gb, Second, 8, -1).BackgroundNJ != lo {
+		t.Error("activeFrac not clamped low")
+	}
+}
+
+func TestRefreshEnergyScalesWithDevice(t *testing.T) {
+	pp := DDR5PowerParams()
+	st := RankStats{REFs: 8192}
+	small := RankEnergy(pp, st, Device8Gb, Second, 8, 0).RefreshNJ
+	big := RankEnergy(pp, st, Device32Gb, Second, 8, 0).RefreshNJ
+	if big <= small {
+		t.Error("32Gb refresh energy should exceed 8Gb (more rows per REF × banks)")
+	}
+}

@@ -1,0 +1,81 @@
+package dram
+
+// Refresh-mode comparison (§2.2): "Although recent DRAM chips support
+// a selective bank refresh mode to prevent the rank from being locked
+// during each refresh cycle, the all bank mode is still the most
+// efficient way of refreshing rows in a semi-parallel fashion." The
+// same-bank (REFsb) mode refreshes one bank group at a time: commands
+// come more often and each locks less, but the total locked
+// bank-time exceeds all-bank refresh because per-bank refreshes cannot
+// amortize the shared peripheral work.
+
+// RefreshMode selects the refresh command style.
+type RefreshMode int
+
+// Refresh modes.
+const (
+	AllBank RefreshMode = iota
+	SameBank
+)
+
+func (m RefreshMode) String() string {
+	if m == AllBank {
+		return "all-bank"
+	}
+	return "same-bank"
+}
+
+// SameBankTRFC returns tRFCsb for a device: per JEDEC DDR5, the
+// same-bank refresh completes faster than the all-bank command
+// (roughly 0.45× tRFC for these densities) but must run once per bank
+// group slice, i.e. 4× as many commands at tREFI/4 spacing.
+func SameBankTRFC(dev DeviceConfig) Ps {
+	return dev.TRFC * 45 / 100
+}
+
+// RefreshOverheads compares the two modes for a device over one
+// retention window.
+type RefreshOverheads struct {
+	Mode RefreshMode
+	// RankLockedPs is the total time the whole rank is inaccessible.
+	RankLockedPs Ps
+	// RefreshBusyPs is the total time spent executing refresh
+	// commands per retention window — the paper's efficiency metric:
+	// all-bank refreshes many banks per command, so it finishes the
+	// same work in less command time.
+	RefreshBusyPs Ps
+	// Commands is the number of refresh commands issued.
+	Commands int
+	// XFMWindowPs is the per-command window usable by XFM's side
+	// channel (the rank-locked interval for all-bank; zero for
+	// same-bank, where the rank stays live for the CPU and there is no
+	// host-transparent window).
+	XFMWindowPs Ps
+}
+
+// CompareRefreshModes returns the overheads of all-bank and same-bank
+// refresh for the device at the given timing set.
+func CompareRefreshModes(dev DeviceConfig, t Timings) (allBank, sameBank RefreshOverheads) {
+	refs := t.REFsPerRetention()
+
+	allBank = RefreshOverheads{
+		Mode:          AllBank,
+		RankLockedPs:  Ps(refs) * dev.TRFC,
+		RefreshBusyPs: Ps(refs) * dev.TRFC,
+		Commands:      refs,
+		XFMWindowPs:   dev.TRFC,
+	}
+	// Same-bank: 4 bank-group slices, each needing `refs` commands of
+	// tRFCsb. tRFCsb > tRFC/4 (per-slice refreshes cannot amortize the
+	// shared peripheral work), so the total command time grows.
+	const slices = 4
+	sbTRFC := SameBankTRFC(dev)
+	sameBank = RefreshOverheads{
+		Mode:          SameBank,
+		RankLockedPs:  0, // the rank as a whole stays accessible
+		RefreshBusyPs: Ps(refs*slices) * sbTRFC,
+		Commands:      refs * slices,
+		XFMWindowPs:   0,
+	}
+	return allBank, sameBank
+}

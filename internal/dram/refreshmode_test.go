@@ -1,0 +1,57 @@
+package dram
+
+import "testing"
+
+func TestSameBankLessEfficientOverall(t *testing.T) {
+	// §2.2: all-bank is "the most efficient way of refreshing rows in
+	// a semi-parallel fashion" — same-bank mode spends more total
+	// command time refreshing the same rows.
+	for _, dev := range Table1Devices() {
+		tm := DDR5_3200().WithTRFC(dev.TRFC)
+		ab, sb := CompareRefreshModes(dev, tm)
+		if sb.RefreshBusyPs <= ab.RefreshBusyPs {
+			t.Errorf("%s: same-bank command time %d not above all-bank %d",
+				dev.Name, sb.RefreshBusyPs, ab.RefreshBusyPs)
+		}
+		if sb.Commands != 4*ab.Commands {
+			t.Errorf("%s: same-bank commands = %d, want 4×%d", dev.Name, sb.Commands, ab.Commands)
+		}
+	}
+}
+
+func TestSameBankAvoidsRankLockout(t *testing.T) {
+	ab, sb := CompareRefreshModes(Device32Gb, DDR5_3200())
+	if sb.RankLockedPs != 0 {
+		t.Errorf("same-bank locks the rank for %d ps", sb.RankLockedPs)
+	}
+	if ab.RankLockedPs == 0 {
+		t.Error("all-bank should lock the rank")
+	}
+}
+
+func TestOnlyAllBankGivesXFMWindows(t *testing.T) {
+	// XFM's side channel exists precisely because all-bank refresh
+	// makes the rank CPU-inaccessible (§4.3); same-bank mode provides
+	// no host-transparent window.
+	ab, sb := CompareRefreshModes(Device32Gb, DDR5_3200())
+	if ab.XFMWindowPs != Device32Gb.TRFC {
+		t.Errorf("all-bank XFM window = %d, want tRFC", ab.XFMWindowPs)
+	}
+	if sb.XFMWindowPs != 0 {
+		t.Errorf("same-bank XFM window = %d, want 0", sb.XFMWindowPs)
+	}
+}
+
+func TestSameBankTRFCShorter(t *testing.T) {
+	for _, dev := range Table1Devices() {
+		if got := SameBankTRFC(dev); got >= dev.TRFC || got <= 0 {
+			t.Errorf("%s: tRFCsb = %d vs tRFC %d", dev.Name, got, dev.TRFC)
+		}
+	}
+}
+
+func TestRefreshModeStrings(t *testing.T) {
+	if AllBank.String() != "all-bank" || SameBank.String() != "same-bank" {
+		t.Error("mode strings wrong")
+	}
+}

@@ -1,0 +1,195 @@
+// Package ecc implements side-band SECDED (single-error-correcting,
+// double-error-detecting) ECC as used on x72 DDR DIMMs (§4.1 of the
+// paper). The NMA sits between the DRAM chips and the memory
+// controller, so it reads error-free data (on-die ECC) and does not
+// need to *check* the side-band code — but it must *regenerate* the
+// parity bytes when writing compressed data back, "so the memory
+// controller can perform side-band ECC error detection and
+// correction".
+//
+// The code is the classic extended Hamming (72,64): seven Hamming
+// check bits at power-of-two codeword positions plus one overall
+// parity bit, protecting each 64-bit data word with 8 ECC bits — the
+// x72 DIMM layout (8 data chips + 1 ECC chip).
+package ecc
+
+import "encoding/binary"
+
+// Status is the outcome of a Decode.
+type Status int
+
+// Decode outcomes.
+const (
+	OK            Status = iota // no error
+	Corrected                   // single-bit error corrected
+	ParityBitFlip               // error in the ECC bits themselves, data intact
+	DoubleError                 // uncorrectable double-bit error detected
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case ParityBitFlip:
+		return "parity-bit-flip"
+	case DoubleError:
+		return "double-error"
+	default:
+		return "invalid"
+	}
+}
+
+// The codeword has 72 positions, indexed 1..72 for the Hamming part
+// with position 0 holding the overall parity bit. Positions 1, 2, 4,
+// 8, 16, 32, 64 hold the seven Hamming check bits; the remaining 64
+// positions hold data bits in ascending order.
+
+// dataPositions[i] is the codeword position of data bit i.
+var dataPositions = func() [64]int {
+	var out [64]int
+	i := 0
+	for pos := 1; pos <= 72 && i < 64; pos++ {
+		if pos&(pos-1) == 0 { // power of two: check bit
+			continue
+		}
+		out[i] = pos
+		i++
+	}
+	return out
+}()
+
+// checkPositions are the power-of-two codeword positions.
+var checkPositions = [7]int{1, 2, 4, 8, 16, 32, 64}
+
+// Encode computes the 8 ECC bits for one 64-bit data word: bits 0-6
+// are the Hamming check bits, bit 7 is the overall parity of the full
+// 72-bit codeword.
+func Encode(data uint64) uint8 {
+	var code [73]bool
+	for i := 0; i < 64; i++ {
+		code[dataPositions[i]] = data>>uint(i)&1 == 1
+	}
+	var parity uint8
+	for c, cp := range checkPositions {
+		bit := false
+		for pos := 1; pos <= 72; pos++ {
+			if pos&cp != 0 && code[pos] {
+				bit = !bit
+			}
+		}
+		if bit {
+			parity |= 1 << uint(c)
+			code[cp] = true
+		}
+	}
+	// Overall parity over all 72 Hamming positions.
+	overall := false
+	for pos := 1; pos <= 72; pos++ {
+		if code[pos] {
+			overall = !overall
+		}
+	}
+	if overall {
+		parity |= 1 << 7
+	}
+	return parity
+}
+
+// Decode checks (and if needed corrects) a data word against its ECC
+// bits. It returns the possibly corrected data and the outcome.
+func Decode(data uint64, parity uint8) (uint64, Status) {
+	var code [73]bool
+	for i := 0; i < 64; i++ {
+		code[dataPositions[i]] = data>>uint(i)&1 == 1
+	}
+	for c, cp := range checkPositions {
+		code[cp] = parity>>uint(c)&1 == 1
+	}
+	// Syndrome: for each check bit, parity over its coverage class
+	// (including the stored check bit itself).
+	syndrome := 0
+	for c, cp := range checkPositions {
+		bit := false
+		for pos := 1; pos <= 72; pos++ {
+			if pos&cp != 0 && code[pos] {
+				bit = !bit
+			}
+		}
+		if bit {
+			syndrome |= cp
+		}
+		_ = c
+	}
+	// Recompute overall parity across positions plus the stored
+	// overall-parity bit.
+	overall := parity>>7&1 == 1
+	for pos := 1; pos <= 72; pos++ {
+		if code[pos] {
+			overall = !overall
+		}
+	}
+	switch {
+	case syndrome == 0 && !overall:
+		return data, OK
+	case syndrome == 0 && overall:
+		// The overall parity bit itself flipped.
+		return data, ParityBitFlip
+	case overall:
+		// Single-bit error at codeword position `syndrome`.
+		if syndrome > 72 {
+			return data, DoubleError // syndrome outside the codeword
+		}
+		if syndrome&(syndrome-1) == 0 {
+			// A check bit flipped; data is intact.
+			return data, ParityBitFlip
+		}
+		// Map the position back to its data bit index.
+		for i := 0; i < 64; i++ {
+			if dataPositions[i] == syndrome {
+				return data ^ 1<<uint(i), Corrected
+			}
+		}
+		return data, DoubleError
+	default:
+		// Nonzero syndrome with even overall parity: two errors.
+		return data, DoubleError
+	}
+}
+
+// PageParity computes one ECC byte per 8 data bytes for a buffer whose
+// length is a multiple of 8 — the side-band parity the NMA must
+// regenerate on write-back (§4.1). It panics on misaligned input,
+// which indicates a programming error (pages are 4 KiB).
+func PageParity(data []byte) []byte {
+	if len(data)%8 != 0 {
+		panic("ecc: data length not a multiple of 8")
+	}
+	out := make([]byte, len(data)/8)
+	for i := 0; i < len(data); i += 8 {
+		out[i/8] = Encode(binary.LittleEndian.Uint64(data[i:]))
+	}
+	return out
+}
+
+// VerifyPage checks data against its parity bytes, correcting any
+// single-bit errors in place. It returns the number of corrected
+// words and the number of uncorrectable words.
+func VerifyPage(data, parity []byte) (corrected, uncorrectable int) {
+	if len(data)%8 != 0 || len(parity) != len(data)/8 {
+		panic("ecc: mismatched data/parity lengths")
+	}
+	for i := 0; i < len(data); i += 8 {
+		word := binary.LittleEndian.Uint64(data[i:])
+		fixed, st := Decode(word, parity[i/8])
+		switch st {
+		case Corrected:
+			binary.LittleEndian.PutUint64(data[i:], fixed)
+			corrected++
+		case DoubleError:
+			uncorrectable++
+		}
+	}
+	return corrected, uncorrectable
+}

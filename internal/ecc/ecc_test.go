@@ -1,0 +1,168 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCleanWordDecodesOK(t *testing.T) {
+	f := func(data uint64) bool {
+		p := Encode(data)
+		out, st := Decode(data, p)
+		return st == OK && out == data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleDataBitErrorCorrected(t *testing.T) {
+	f := func(data uint64, bitSel uint8) bool {
+		p := Encode(data)
+		bit := uint(bitSel) % 64
+		corrupted := data ^ 1<<bit
+		out, st := Decode(corrupted, p)
+		return st == Corrected && out == data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleParityBitErrorDetected(t *testing.T) {
+	f := func(data uint64, bitSel uint8) bool {
+		p := Encode(data)
+		bit := uint(bitSel) % 8
+		out, st := Decode(data, p^1<<bit)
+		// Data must be untouched; the flip is in the ECC byte.
+		return st == ParityBitFlip && out == data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoubleDataBitErrorDetected(t *testing.T) {
+	f := func(data uint64, aSel, bSel uint8) bool {
+		a := uint(aSel) % 64
+		b := uint(bSel) % 64
+		if a == b {
+			return true
+		}
+		p := Encode(data)
+		corrupted := data ^ 1<<a ^ 1<<b
+		_, st := Decode(corrupted, p)
+		return st == DoubleError
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoubleMixedErrorDetected(t *testing.T) {
+	// One data bit + one parity bit flipped must never be silently
+	// "corrected" into wrong data.
+	f := func(data uint64, dSel, pSel uint8) bool {
+		p := Encode(data)
+		corrupted := data ^ 1<<(uint(dSel)%64)
+		badParity := p ^ 1<<(uint(pSel)%8)
+		out, st := Decode(corrupted, badParity)
+		if st == Corrected || st == OK || st == ParityBitFlip {
+			// Acceptable only if it restored the true data.
+			return out == data
+		}
+		return st == DoubleError
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageParityRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	page := make([]byte, 4096)
+	rng.Read(page)
+	parity := PageParity(page)
+	if len(parity) != 512 {
+		t.Fatalf("parity bytes = %d, want 512 (x72 layout: 1 ECC byte / 8 data bytes)", len(parity))
+	}
+	corrected, bad := VerifyPage(page, parity)
+	if corrected != 0 || bad != 0 {
+		t.Fatalf("clean page reported corrected=%d bad=%d", corrected, bad)
+	}
+}
+
+func TestPageSingleBitStorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	page := make([]byte, 4096)
+	rng.Read(page)
+	want := append([]byte(nil), page...)
+	parity := PageParity(page)
+	// Flip one bit in each of 64 distinct words.
+	for w := 0; w < 64; w++ {
+		byteIdx := w*64 + rng.Intn(8)
+		page[byteIdx] ^= 1 << uint(rng.Intn(8))
+	}
+	corrected, bad := VerifyPage(page, parity)
+	if corrected != 64 || bad != 0 {
+		t.Fatalf("corrected=%d bad=%d, want 64/0", corrected, bad)
+	}
+	for i := range page {
+		if page[i] != want[i] {
+			t.Fatalf("byte %d not restored", i)
+		}
+	}
+}
+
+func TestPageDoubleBitDetected(t *testing.T) {
+	page := make([]byte, 64)
+	parity := PageParity(page)
+	page[0] ^= 0x03 // two bits in the same word
+	corrected, bad := VerifyPage(page, parity)
+	if corrected != 0 || bad != 1 {
+		t.Fatalf("corrected=%d bad=%d, want 0/1", corrected, bad)
+	}
+}
+
+func TestPanicsOnMisalignedInput(t *testing.T) {
+	for _, f := range []func(){
+		func() { PageParity(make([]byte, 7)) },
+		func() { VerifyPage(make([]byte, 8), make([]byte, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("misaligned input did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for st, want := range map[Status]string{
+		OK: "ok", Corrected: "corrected", ParityBitFlip: "parity-bit-flip",
+		DoubleError: "double-error", Status(99): "invalid",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}
+
+func BenchmarkEncodeWord(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Encode(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+func BenchmarkPageParity4K(b *testing.B) {
+	page := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(page)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		PageParity(page)
+	}
+}

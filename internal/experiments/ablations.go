@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xfm/internal/dram"
+	"xfm/internal/nma"
+	"xfm/internal/stats"
+)
+
+// AblationResult summarizes the design-decision ablations (D1, D4 in
+// DESIGN.md) at the Fig. 12 operating point.
+type AblationResult struct {
+	// D1: conditional side channel vs a random-only interface.
+	WithCondFallback   float64
+	RandomOnlyFallback float64
+	// D4: refresh-aware vs uninformed destination placement.
+	AwareWriteCondShare   float64
+	UniformWriteCondShare float64
+}
+
+// ablationRun executes the standard workload against one configuration.
+func ablationRun(acc, randomPerTRFC, dstAhead int, promotion float64, seed int64) nma.Stats {
+	cfg := fig12Config(8<<20, acc)
+	cfg.RandomPerTRFC = randomPerTRFC
+	if cfg.AccessesPerTRFC == 0 && cfg.RandomPerTRFC == 0 {
+		cfg.RandomPerTRFC = 1
+	}
+	sim := nma.NewSim(cfg)
+	traffic := fig12Traffic(512, promotion, 10, cfg, seed)
+	traffic.DstAheadGroups = dstAhead
+	windows := 2 * 8192
+	dur := dram.Ps(windows) * cfg.Timings.TREFI
+	sim.RunWindows(windows, traffic.Stream(dur))
+	return sim.Stats()
+}
+
+// Ablations runs the D1 and D4 studies.
+func Ablations() *AblationResult {
+	res := &AblationResult{}
+	// D1: remove conditional accesses entirely.
+	withCond := ablationRun(3, 1, 5000, 1.0, 1)
+	randomOnly := ablationRun(0, 1, 5000, 1.0, 1)
+	res.WithCondFallback = withCond.FallbackRate()
+	res.RandomOnlyFallback = randomOnly.FallbackRate()
+
+	// D4: destination placement at 50% promotion.
+	wcond := func(s nma.Stats) float64 {
+		if s.WriteCond+s.WriteRand == 0 {
+			return 0
+		}
+		return float64(s.WriteCond) / float64(s.WriteCond+s.WriteRand)
+	}
+	res.AwareWriteCondShare = wcond(ablationRun(3, 1, 1024, 0.5, 2))
+	res.UniformWriteCondShare = wcond(ablationRun(3, 1, 8192, 0.5, 2))
+	return res
+}
+
+// Table renders the ablations.
+func (r *AblationResult) Table() *stats.Table {
+	t := stats.NewTable("Design ablations (512 GB SFM over 10 ranks)",
+		"ablation", "design", "alternative", "metric")
+	t.AddRow("D1 conditional side channel",
+		fmt.Sprintf("%.1f%%", r.WithCondFallback*100),
+		fmt.Sprintf("%.1f%%", r.RandomOnlyFallback*100),
+		"CPU fallback rate @100% promotion")
+	t.AddRow("D4 refresh-aware placement",
+		fmt.Sprintf("%.1f%%", r.AwareWriteCondShare*100),
+		fmt.Sprintf("%.1f%%", r.UniformWriteCondShare*100),
+		"conditional write share @50% promotion")
+	return t
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xfm/internal/compress"
+	"xfm/internal/dram"
+	"xfm/internal/memctrl"
+	"xfm/internal/nma"
+	"xfm/internal/sfm"
+	"xfm/internal/stats"
+	"xfm/internal/workload"
+	"xfm/internal/xfm"
+)
+
+// EmulatorResult compares the full software stack running the web
+// front-end workload over the baseline CPU backend and the XFM
+// backend (§7's emulation methodology).
+type EmulatorResult struct {
+	CPU workload.Result
+	XFM workload.Result
+	// XFMOffloadRate is the share of swap operations the NMA absorbed.
+	XFMOffloadRate float64
+	// CPUCycleReduction is the fractional reduction in host
+	// (de)compression cycles XFM achieved.
+	CPUCycleReduction float64
+	NMA               nma.Stats
+}
+
+// Emulator runs the synthetic web front-end twice — once over the
+// zswap-style CPU backend and once over the XFM backend — and compares
+// swap behavior and host cycle consumption.
+func Emulator() *EmulatorResult {
+	w := workload.DefaultWebFrontend()
+
+	cpuRes, err := w.Run(sfm.NewCPUBackend(compress.NewXDeflate(), 0))
+	if err != nil {
+		panic(err)
+	}
+
+	sim := nma.NewSim(nma.DefaultConfig(dram.Device32Gb))
+	driver := xfm.NewDriver(sim)
+	mapping := memctrl.SkylakeMapping(4, 2, dram.Device32Gb)
+	backend, err := xfm.NewBackend(compress.NewXDeflate(), 1<<30, driver, mapping)
+	if err != nil {
+		panic(err)
+	}
+	xfmRes, err := w.Run(backend)
+	if err != nil {
+		panic(err)
+	}
+
+	res := &EmulatorResult{CPU: cpuRes, XFM: xfmRes, NMA: driver.NMAStats()}
+	bs := xfmRes.BackendStats
+	if total := bs.Offloads + bs.Fallbacks; total > 0 {
+		res.XFMOffloadRate = float64(bs.Offloads) / float64(total)
+	}
+	if cpuRes.BackendStats.CPUCycles > 0 {
+		res.CPUCycleReduction = 1 - bs.CPUCycles/cpuRes.BackendStats.CPUCycles
+	}
+	return res
+}
+
+// Table renders the comparison.
+func (r *EmulatorResult) Table() *stats.Table {
+	t := stats.NewTable("§7 — full-stack emulation: web front-end over CPU vs XFM backends",
+		"metric", "CPU backend", "XFM backend")
+	row := func(name string, cpu, x interface{}) { t.AddRowf(name, cpu, x) }
+	row("swap-outs", r.CPU.BackendStats.SwapOuts, r.XFM.BackendStats.SwapOuts)
+	row("swap-ins", r.CPU.BackendStats.SwapIns, r.XFM.BackendStats.SwapIns)
+	row("demand faults", r.CPU.HeapStats.DemandFaults, r.XFM.HeapStats.DemandFaults)
+	row("prefetches", r.CPU.HeapStats.PrefetchedPages, r.XFM.HeapStats.PrefetchedPages)
+	row("compression ratio",
+		fmt.Sprintf("%.2f", r.CPU.BackendStats.CompressionRatio()),
+		fmt.Sprintf("%.2f", r.XFM.BackendStats.CompressionRatio()))
+	row("observed promotion rate", pct(r.CPU.PromotionRate), pct(r.XFM.PromotionRate))
+	row("host compression cycles",
+		fmt.Sprintf("%.3g", r.CPU.BackendStats.CPUCycles),
+		fmt.Sprintf("%.3g", r.XFM.BackendStats.CPUCycles))
+	t.AddRow("", "", "")
+	t.AddRow("XFM offload rate", pct(r.XFMOffloadRate), "")
+	t.AddRow("host cycle reduction", pct(r.CPUCycleReduction), "")
+	t.AddRow("NMA conditional share", pct(r.NMA.ConditionalFraction()), "")
+	return t
+}

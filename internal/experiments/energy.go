@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xfm/internal/dram"
+	"xfm/internal/energy"
+	"xfm/internal/nma"
+	"xfm/internal/stats"
+)
+
+// EnergyRow is one promotion-rate point of the §8 energy study.
+type EnergyRow struct {
+	PromotionRate       float64
+	ConditionalFraction float64
+	AccessEnergySaving  float64
+}
+
+// EnergyResult is the sweep plus the paper's averages.
+type EnergyResult struct {
+	Rows []EnergyRow
+	// MeanSaving is the average access-energy saving (paper: 10.1%).
+	MeanSaving float64
+	// DataMovementSaving is the on-DIMM vs DDR-channel saving
+	// (paper: 69%).
+	DataMovementSaving float64
+}
+
+// EnergySaving reproduces §8's access-energy analysis: the NMA
+// scheduler is run across promotion rates, its conditional-access
+// fraction measured, and the resulting energy saving computed from
+// the access-energy model.
+func EnergySaving(quick bool) *EnergyResult {
+	windows := 2 * 8192
+	if quick {
+		windows = 4096
+	}
+	res := &EnergyResult{DataMovementSaving: energy.DataMovementSavingFraction()}
+	var sum float64
+	rates := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+	for _, rate := range rates {
+		cfg := fig12Config(8<<20, 3)
+		sim := nma.NewSim(cfg)
+		traffic := fig12Traffic(512, rate, 16, cfg, int64(rate*1000))
+		dur := dram.Ps(windows) * cfg.Timings.TREFI
+		sim.RunWindows(windows, traffic.Stream(dur))
+		frac := sim.Stats().ConditionalFraction()
+		saving := energy.ConditionalSavingFraction(frac, cfg.PageBytes, 2)
+		res.Rows = append(res.Rows, EnergyRow{
+			PromotionRate:       rate,
+			ConditionalFraction: frac,
+			AccessEnergySaving:  saving,
+		})
+		sum += saving
+	}
+	res.MeanSaving = sum / float64(len(rates))
+	return res
+}
+
+// Table renders the study.
+func (r *EnergyResult) Table() *stats.Table {
+	t := stats.NewTable("§8 — NMA access energy saving from conditional accesses",
+		"promotion", "conditional share", "access energy saving")
+	for _, row := range r.Rows {
+		t.AddRow(pct(row.PromotionRate), pct(row.ConditionalFraction), pct(row.AccessEnergySaving))
+	}
+	t.AddRow("", "", "")
+	t.AddRow("mean saving", "", pct(r.MeanSaving)+" (paper: 10.1%)")
+	t.AddRow("data movement saving", "", pct(r.DataMovementSaving)+" (paper: 69%)")
+	return t
+}
+
+// CapacityRow is one capacity point of the headroom study.
+type CapacityRow struct {
+	CapacityGB   float64
+	FallbackRate float64
+}
+
+// CapacityResult is the sweep plus the largest zero-fallback capacity.
+type CapacityResult struct {
+	Rows []CapacityRow
+	// MaxCleanCapacityGB is the largest capacity whose fallback rate
+	// stays below 0.1% — the abstract's "eliminates memory bandwidth
+	// utilization ... with SFMs of capacities up to 1TB".
+	MaxCleanCapacityGB float64
+}
+
+// Capacity sweeps SFM capacity at a 40% promotion rate over 16 ranks
+// with the 8 MB / 3-access configuration and reports where CPU
+// fallbacks (which consume host memory bandwidth) appear.
+func Capacity(quick bool) *CapacityResult {
+	// The overloaded points only overflow the request queue after the
+	// backlog accumulates, so even the quick run needs several
+	// retention walks to reach steady state.
+	windows := 6 * 8192
+	if quick {
+		windows = 3 * 8192
+	}
+	res := &CapacityResult{}
+	for _, capGB := range []float64{128, 256, 512, 1024, 2048} {
+		cfg := fig12Config(8<<20, 3)
+		sim := nma.NewSim(cfg)
+		traffic := fig12Traffic(capGB, 0.40, 10, cfg, int64(capGB))
+		dur := dram.Ps(windows) * cfg.Timings.TREFI
+		sim.RunWindows(windows, traffic.Stream(dur))
+		rate := sim.Stats().FallbackRate()
+		res.Rows = append(res.Rows, CapacityRow{CapacityGB: capGB, FallbackRate: rate})
+		if rate < 0.001 && capGB > res.MaxCleanCapacityGB {
+			res.MaxCleanCapacityGB = capGB
+		}
+	}
+	return res
+}
+
+// Table renders the study.
+func (r *CapacityResult) Table() *stats.Table {
+	t := stats.NewTable("§8 — SFM capacity headroom (40% promotion, 10 ranks, 8MB SPM, 3 acc/tRFC)",
+		"capacity", "CPU fallback rate")
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%.0f GB", row.CapacityGB), pct(row.FallbackRate))
+	}
+	t.AddRow("", "")
+	t.AddRow("max fallback-free capacity", fmt.Sprintf("%.0f GB (paper: up to 1 TB)", r.MaxCleanCapacityGB))
+	return t
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xfm/internal/dram"
+	"xfm/internal/memsim"
+	"xfm/internal/stats"
+)
+
+// Fig11SimRow is one victim workload's simulated latency inflation.
+type Fig11SimRow struct {
+	Name              string
+	BaselineInflation float64 // co-run with the SFM swap stream
+	XFMInflation      float64 // co-run without it (XFM removes the stream)
+}
+
+// Fig11SimResult is the simulation-based cross-check of the analytic
+// Fig. 11 model: workload streams run on the actual DRAM bank/bus
+// state machines with and without the CPU-SFM swap stream.
+type Fig11SimResult struct {
+	Rows       []Fig11SimRow
+	SFMSwapGBs float64
+}
+
+// Fig11Sim replays the Fig. 11 scenario on the timing simulator: four
+// representative workload streams co-run with a page-granular SFM swap
+// stream (Baseline-CPU) and without it (XFM). The analytic model's
+// qualitative result — Baseline inflates memory latency, XFM does not —
+// must reproduce on the detailed model.
+func Fig11Sim() *Fig11SimResult {
+	sys := memsim.DefaultSystem()
+	swapGBps := 512 * 0.14 / 60 // Fig. 11 operating point
+	dur := dram.Millisecond
+
+	victims := []memsim.StreamSpec{
+		{ID: 1, Name: "mcf-like", Pattern: memsim.Random, RateGBps: 8,
+			ReqBytes: 128, Base: 0, Size: 1 << 30, Seed: 1},
+		{ID: 2, Name: "lbm-like", Pattern: memsim.Sequential, RateGBps: 12,
+			ReqBytes: 128, Base: 4 << 30, Size: 1 << 30, Seed: 2},
+		{ID: 3, Name: "omnetpp-like", Pattern: memsim.Random, RateGBps: 5,
+			ReqBytes: 128, Base: 8 << 30, Size: 1 << 30, Seed: 3},
+		{ID: 4, Name: "roms-like", Pattern: memsim.Strided, RateGBps: 10,
+			ReqBytes: 128, Base: 12 << 30, Size: 1 << 30, Stride: 4096, Seed: 4},
+	}
+	// Baseline-CPU SFM: 2 + 2/ratio × swap rate of page-granular
+	// bursts (§3.3), half writes.
+	sfmStream := memsim.StreamSpec{
+		ID: 9, Name: "sfm-swap", Pattern: memsim.SwapBursts,
+		RateGBps: swapGBps * 3, ReqBytes: 128,
+		Base: 16 << 30, Size: 4 << 30, WriteShare: 0.5, Seed: 9,
+	}
+
+	baseline, err := sys.Run(append(append([]memsim.StreamSpec{}, victims...), sfmStream), dur)
+	if err != nil {
+		panic(err)
+	}
+	xfmRun, err := sys.Run(victims, dur)
+	if err != nil {
+		panic(err)
+	}
+	solo := make([]float64, len(victims))
+	for i, v := range victims {
+		r, err := sys.Run([]memsim.StreamSpec{v}, dur)
+		if err != nil {
+			panic(err)
+		}
+		solo[i] = r[0].MeanLatencyNs
+	}
+
+	res := &Fig11SimResult{SFMSwapGBs: swapGBps}
+	for i, v := range victims {
+		res.Rows = append(res.Rows, Fig11SimRow{
+			Name:              v.Name,
+			BaselineInflation: baseline[i].MeanLatencyNs / solo[i],
+			XFMInflation:      xfmRun[i].MeanLatencyNs / solo[i],
+		})
+	}
+	return res
+}
+
+// Table renders the cross-check.
+func (r *Fig11SimResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Fig. 11 (simulation cross-check) — memory latency inflation vs solo; SFM swap %.2f GB/s",
+			r.SFMSwapGBs),
+		"workload", "Baseline-CPU", "XFM")
+	for _, row := range r.Rows {
+		t.AddRow(row.Name,
+			fmt.Sprintf("%.3f", row.BaselineInflation),
+			fmt.Sprintf("%.3f", row.XFMInflation))
+	}
+	return t
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xfm/internal/costmodel"
+	"xfm/internal/stats"
+)
+
+// Fig3Point is one (year, normalized cost/emission) sample.
+type Fig3Point struct {
+	Year float64
+	// Values are normalized to the DRAM-DFM at the same year, the
+	// figure's normalization ("Values are normalized to that of DFM").
+	SFMCost20, SFMCost100 float64
+	PMemCost              float64
+	SFMEmission20         float64
+	SFMEmission100        float64
+	PMemEmission          float64
+}
+
+// Fig3Result carries the sweep and the headline break-even points.
+type Fig3Result struct {
+	Points []Fig3Point
+
+	// CostBreakEvenDRAM100 is the year SFM at 100% promotion matches
+	// DRAM-DFM cost (paper: 8.5 years).
+	CostBreakEvenDRAM100 float64
+	// EmissionBreakEvenPMem20 is the year SFM at 20% promotion
+	// matches PMem-DFM emissions (paper: "several years").
+	EmissionBreakEvenPMem20 float64
+	// DRAMEmissionBreaksEvenWithin5 reports whether SFM@20% emissions
+	// ever reach DRAM-DFM's within the 5-year server lifetime
+	// (paper: they never do).
+	DRAMEmissionBreaksEvenWithin5 bool
+}
+
+// Fig3 reproduces the DFM-vs-SFM cost and emission comparison (§3.1,
+// EQ1–EQ5) for a 512 GB far-memory tier.
+func Fig3() *Fig3Result {
+	base := costmodel.DefaultParams()
+	at := func(rate float64) costmodel.Params {
+		p := base
+		p.PromotionRate = rate
+		return p
+	}
+	p20, p100 := at(0.20), at(1.00)
+
+	res := &Fig3Result{}
+	for year := 0.0; year <= 10.0; year += 1.0 {
+		dramCost := p20.DFMCost(costmodel.DRAM, year)
+		dramEm := p20.DFMEmission(costmodel.DRAM, year)
+		res.Points = append(res.Points, Fig3Point{
+			Year:           year,
+			SFMCost20:      p20.SFMCost(year) / dramCost,
+			SFMCost100:     p100.SFMCost(year) / dramCost,
+			PMemCost:       p20.DFMCost(costmodel.PMem, year) / dramCost,
+			SFMEmission20:  p20.SFMEmission(year) / dramEm,
+			SFMEmission100: p100.SFMEmission(year) / dramEm,
+			PMemEmission:   p20.DFMEmission(costmodel.PMem, year) / dramEm,
+		})
+	}
+	if y, ok := p100.CostBreakEvenYears(costmodel.DRAM, 50); ok {
+		res.CostBreakEvenDRAM100 = y
+	}
+	if y, ok := p20.EmissionBreakEvenYears(costmodel.PMem, 50); ok {
+		res.EmissionBreakEvenPMem20 = y
+	}
+	_, res.DRAMEmissionBreaksEvenWithin5 = p20.EmissionBreakEvenYears(costmodel.DRAM, 5)
+	return res
+}
+
+// Table renders the figure.
+func (r *Fig3Result) Table() *stats.Table {
+	t := stats.NewTable(
+		"Fig. 3 — DFM vs SFM, 512 GB tier; all values normalized to DRAM-DFM at the same year",
+		"year", "SFM cost @20%", "SFM cost @100%", "PMem-DFM cost",
+		"SFM CO2 @20%", "SFM CO2 @100%", "PMem-DFM CO2")
+	for _, p := range r.Points {
+		t.AddRow(
+			fmt.Sprintf("%.0f", p.Year),
+			fmt.Sprintf("%.3f", p.SFMCost20),
+			fmt.Sprintf("%.3f", p.SFMCost100),
+			fmt.Sprintf("%.3f", p.PMemCost),
+			fmt.Sprintf("%.3f", p.SFMEmission20),
+			fmt.Sprintf("%.3f", p.SFMEmission100),
+			fmt.Sprintf("%.3f", p.PMemEmission),
+		)
+	}
+	t.AddRow("")
+	t.AddRow(fmt.Sprintf("break-even: cost SFM@100%% vs DRAM-DFM = %.1f yr (paper: 8.5)", r.CostBreakEvenDRAM100))
+	t.AddRow(fmt.Sprintf("break-even: emissions SFM@20%% vs PMem-DFM = %.1f yr (paper: several)", r.EmissionBreakEvenPMem20))
+	t.AddRow(fmt.Sprintf("break-even: emissions SFM@20%% vs DRAM-DFM within 5 yr: %v (paper: never)", r.DRAMEmissionBreaksEvenWithin5))
+	return t
+}

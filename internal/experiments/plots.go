@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xfm/internal/contention"
+	"xfm/internal/stats"
+)
+
+// Plot renders Fig. 1 as bars of CPU-SFM channel bandwidth per rank
+// count (XFM is identically zero).
+func (r *Fig1Result) Plot() string {
+	b := stats.NewBarChart("Fig. 1 — CPU-SFM channel bandwidth (GB/s); XFM = 0 at every point")
+	for _, row := range r.Rows {
+		b.Add(fmt.Sprintf("%d ranks (%.0f GB)", row.Ranks, row.SFMCapacityGB),
+			row.CPUSFMChannelGBps, "")
+	}
+	return b.String()
+}
+
+// Plot renders Fig. 11 as per-mode max slowdowns.
+func (r *Fig11Result) Plot() string {
+	b := stats.NewBarChart("Fig. 11 — max co-runner slowdown minus 1 (×100)")
+	for _, m := range contention.Modes() {
+		b.Add(m.String(), (r.Results[m].MaxSlowdown()-1)*100, "")
+	}
+	return b.String()
+}
+
+// Plot renders Fig. 12's 100%-promotion panel as fallback-rate bars.
+func (r *Fig12Result) Plot() string {
+	b := stats.NewBarChart("Fig. 12 — CPU fallback rate (%) at 100% promotion")
+	for _, spm := range []int{1, 2, 4, 8} {
+		for _, acc := range []int{1, 2, 3} {
+			if c, ok := r.Cell(1.0, spm, acc); ok {
+				b.Add(fmt.Sprintf("%dMB/%dacc", spm, acc), c.FallbackRate*100, "")
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package memsim
+
+import (
+	"testing"
+
+	"xfm/internal/dram"
+)
+
+func TestClosedLoopServesRequests(t *testing.T) {
+	sys := DefaultSystem()
+	res, err := sys.RunClosedLoop([]StreamSpec{spec(1, "seq", Sequential, 1, 0)},
+		dram.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Requests == 0 || res[0].AchievedGBps <= 0 {
+		t.Fatalf("closed loop served nothing: %+v", res[0])
+	}
+	// Serialized closed loop: throughput ≈ reqBytes / latency.
+	implied := float64(res[0].Spec.ReqBytes) / (res[0].MeanLatencyNs * 1e-9) / 1e9
+	ratio := res[0].AchievedGBps / implied
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("throughput %.2f GB/s inconsistent with latency-implied %.2f", res[0].AchievedGBps, implied)
+	}
+}
+
+func TestClosedLoopMoreOutstandingMoreThroughput(t *testing.T) {
+	sys := DefaultSystem()
+	streams := []StreamSpec{spec(1, "seq", Sequential, 1, 0)}
+	one, err := sys.RunClosedLoop(streams, dram.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := sys.RunClosedLoop(streams, dram.Millisecond, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four[0].AchievedGBps <= one[0].AchievedGBps {
+		t.Errorf("outstanding=4 (%.2f GB/s) not above outstanding=1 (%.2f GB/s)",
+			four[0].AchievedGBps, one[0].AchievedGBps)
+	}
+}
+
+func TestThroughputSlowdownUnderContention(t *testing.T) {
+	sys := DefaultSystem()
+	streams := []StreamSpec{
+		spec(1, "victim", Random, 1, 0),
+		spec(2, "ant-a", Sequential, 1, 4<<30),
+		spec(3, "ant-b", Sequential, 1, 8<<30),
+	}
+	slow, err := sys.ThroughputSlowdown(streams, dram.Millisecond, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow[0] <= 1.0 {
+		t.Errorf("victim throughput slowdown = %.3f, want > 1 under co-run", slow[0])
+	}
+}
+
+func TestClosedLoopValidates(t *testing.T) {
+	sys := DefaultSystem()
+	bad := spec(1, "x", Random, 1, 0)
+	bad.Size = 0
+	if _, err := sys.RunClosedLoop([]StreamSpec{bad}, dram.Millisecond, 1); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

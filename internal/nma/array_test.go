@@ -1,0 +1,133 @@
+package nma
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestArrayStagger(t *testing.T) {
+	a := NewArray(cfg32(), 4)
+	groups := a.Rank(0).Config().Device.RefreshGroups()
+	gs := a.CurrentGroups()
+	if len(gs) != 4 {
+		t.Fatalf("ranks = %d", len(gs))
+	}
+	// Evenly staggered: offsets 0, 1/4, 2/4, 3/4 of the group space.
+	for i, g := range gs {
+		want := i * groups / 4
+		if g != want {
+			t.Errorf("rank %d at group %d, want %d", i, g, want)
+		}
+	}
+	// Stagger persists across steps.
+	a.StepAll()
+	for i, g := range a.CurrentGroups() {
+		want := (i*groups/4 + 1) % groups
+		if g != want {
+			t.Errorf("after step: rank %d at group %d, want %d", i, g, want)
+		}
+	}
+}
+
+func TestArrayRoundRobinSubmit(t *testing.T) {
+	a := NewArray(cfg32(), 3)
+	for i := 0; i < 9; i++ {
+		a.Submit(-1, Request{Kind: CompressOp, SrcGroup: 0, DstGroup: -1})
+	}
+	for i := 0; i < 3; i++ {
+		if got := a.Rank(i).Stats().Submitted; got != 3 {
+			t.Errorf("rank %d received %d, want 3", i, got)
+		}
+	}
+	if got := a.Stats().Submitted; got != 9 {
+		t.Errorf("aggregate submitted = %d, want 9", got)
+	}
+}
+
+func TestArrayExplicitRankAndPanic(t *testing.T) {
+	a := NewArray(cfg32(), 2)
+	a.Submit(1, Request{Kind: CompressOp, SrcGroup: 0, DstGroup: -1})
+	if a.Rank(0).Stats().Submitted != 0 || a.Rank(1).Stats().Submitted != 1 {
+		t.Error("explicit rank routing wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range rank did not panic")
+		}
+	}()
+	a.Submit(5, Request{SrcGroup: 0, DstGroup: 0})
+}
+
+func TestArrayAdvanceCompletesWork(t *testing.T) {
+	a := NewArray(cfg32(), 4)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 40; i++ {
+		a.Submit(-1, Request{
+			ID: int64(i), Kind: OpKind(i % 2),
+			SrcGroup: rng.Intn(8192), DstGroup: rng.Intn(8192),
+		})
+	}
+	// Two retention walks complete everything.
+	a.AdvanceTo(a.Rank(0).Now() + 2*a.Rank(0).Config().Timings.Retention)
+	st := a.Stats()
+	if st.Completed != 40 {
+		t.Errorf("completed = %d, want 40", st.Completed)
+	}
+}
+
+func TestArrayStaggerSmoothsService(t *testing.T) {
+	// With staggered counters, a burst of requests targeting one group
+	// is served sooner on *some* rank than with aligned counters.
+	cfg := cfg32()
+	aligned := make([]*Sim, 4)
+	for i := range aligned {
+		aligned[i] = NewSim(cfg)
+	}
+	staggered := NewArray(cfg, 4)
+	// All requests target group 6000.
+	wait := func(submit func(i int, r Request) bool, step func()) int {
+		for i := 0; i < 4; i++ {
+			submit(i, Request{Kind: CompressOp, SrcGroup: 6000, DstGroup: -1})
+		}
+		steps := 0
+		for steps < 3*8192 {
+			step()
+			steps++
+			done := int64(0)
+			if staggeredDone := staggered.Stats().Completed; staggeredDone > 0 {
+				done = staggeredDone
+			}
+			for _, s := range aligned {
+				done += s.Stats().Completed
+			}
+			if done > 0 {
+				return steps
+			}
+		}
+		return steps
+	}
+	_ = wait
+	// Simpler direct check: time until the first staggered rank's
+	// window reaches group 6000 is at most groups/4 windows; for the
+	// aligned set it is up to a full walk.
+	groups := cfg.Device.RefreshGroups()
+	minDist := groups
+	for _, g := range staggered.CurrentGroups() {
+		d := (6000 - g + groups) % groups
+		if d < minDist {
+			minDist = d
+		}
+	}
+	if minDist > groups/4 {
+		t.Errorf("staggered min distance to group 6000 = %d, want ≤ %d", minDist, groups/4)
+	}
+}
+
+func TestArrayNeedsRanks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-rank array did not panic")
+		}
+	}()
+	NewArray(cfg32(), 0)
+}

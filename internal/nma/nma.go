@@ -1,0 +1,558 @@
+// Package nma models XFM's near-memory accelerator (§5–§6 of the
+// paper): a (de)compression engine in the DIMM buffer device that
+// accesses DRAM only during all-bank refresh windows (tRFC), batching
+// the requests that arrive during each refresh interval (tREFI).
+//
+// Accesses are classified as conditional — the target row belongs to
+// the refresh group being refreshed in the current window, so the row
+// is already activated and can be streamed out at no extra activation
+// cost — or random — the row is in a different subarray and is
+// accessed in parallel with the ongoing refresh using the Fig. 7 bank
+// extension, limited to one per tRFC in the paper's methodology (§7).
+//
+// Pages read from DRAM are staged in the ScratchPad Memory (SPM) with
+// a PENDING tag, marked COMPLETED when the accelerator finishes, and
+// written back to DRAM in a subsequent window (Fig. 10). When the SPM
+// or the Compress_Request_Queue fills, back-pressure reaches the
+// XFM driver, which falls back to the CPU (§6).
+package nma
+
+import (
+	"fmt"
+
+	"xfm/internal/dram"
+)
+
+// OpKind is the type of an offload operation.
+type OpKind int
+
+// Offload operation kinds.
+const (
+	CompressOp OpKind = iota
+	DecompressOp
+)
+
+func (k OpKind) String() string {
+	if k == CompressOp {
+		return "compress"
+	}
+	return "decompress"
+}
+
+// Request is one page offload submitted to the NMA.
+type Request struct {
+	ID   int64
+	Kind OpKind
+	// SrcGroup is the refresh group of the DRAM row(s) holding the
+	// source page; the read access is conditional exactly when the
+	// current window refreshes this group.
+	SrcGroup int
+	// DstGroup is the refresh group of the destination row(s).
+	DstGroup int
+	// Arrive is the submission time.
+	Arrive dram.Ps
+}
+
+// Config parameterizes the NMA model.
+type Config struct {
+	Device  dram.DeviceConfig
+	Timings dram.Timings
+
+	// SPMBytes is the ScratchPad Memory capacity (Fig. 12 sweeps 1,
+	// 2, 4, 8 MB).
+	SPMBytes int
+	// AccessesPerTRFC is the number of conditional page accesses that
+	// fit in one refresh window (Fig. 6: ≤ 4/3/2 for 32/16/8 Gb).
+	AccessesPerTRFC int
+	// RandomPerTRFC is the number of random accesses per window (§7:
+	// "assume that only one random access can be performed during a
+	// tRFC").
+	RandomPerTRFC int
+	// QueueDepth is the Compress_Request_Queue capacity in entries.
+	QueueDepth int
+
+	// PageBytes is the offload granularity (4 KiB).
+	PageBytes int
+	// CompressedBytes is the average compressed page size staged in
+	// the SPM after compression (PageBytes / compression ratio).
+	CompressedBytes int
+
+	// CompressGBps and DecompressGBps are the accelerator engine
+	// throughputs (the AxDIMM prototype: 14.8 and 17.2 GB/s; §7).
+	CompressGBps   float64
+	DecompressGBps float64
+}
+
+// DefaultConfig returns the paper's evaluation configuration for the
+// given device: 2 MB SPM (the prototype's), device-specific access
+// budget, one random access per window, 4 KiB pages at 2× ratio.
+func DefaultConfig(dev dram.DeviceConfig) Config {
+	return Config{
+		Device:          dev,
+		Timings:         dram.DDR5_3200().WithTRFC(dev.TRFC),
+		SPMBytes:        2 << 20,
+		AccessesPerTRFC: dev.MaxConditionalPerTRFC,
+		RandomPerTRFC:   1,
+		QueueDepth:      4096,
+		PageBytes:       4096,
+		CompressedBytes: 2048,
+		CompressGBps:    14.8,
+		DecompressGBps:  17.2,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.SPMBytes <= 0 || c.PageBytes <= 0 || c.QueueDepth <= 0 {
+		return fmt.Errorf("nma: non-positive capacity in %+v", c)
+	}
+	if c.AccessesPerTRFC < 0 || c.RandomPerTRFC < 0 {
+		return fmt.Errorf("nma: negative access budget")
+	}
+	if c.AccessesPerTRFC+c.RandomPerTRFC == 0 {
+		return fmt.Errorf("nma: zero total access budget")
+	}
+	if c.CompressedBytes <= 0 || c.CompressedBytes > c.PageBytes {
+		return fmt.Errorf("nma: compressed size %d outside (0, %d]", c.CompressedBytes, c.PageBytes)
+	}
+	if c.CompressGBps <= 0 || c.DecompressGBps <= 0 {
+		return fmt.Errorf("nma: non-positive engine throughput")
+	}
+	return c.Device.Validate()
+}
+
+// opState tracks one in-flight operation inside the NMA.
+type opState int
+
+const (
+	opQueued    opState = iota // in Compress_Request_Queue, not yet read
+	opPending                  // page in SPM, engine running (PENDING tag)
+	opCompleted                // engine done (COMPLETED tag), awaiting write-back
+	opDone                     // written back to DRAM
+)
+
+type op struct {
+	req       Request
+	state     opState
+	readAt    dram.Ps // when the page was read into the SPM
+	doneAt    dram.Ps // when the engine finishes
+	wroteAt   dram.Ps
+	spmBytes  int // SPM bytes charged while resident
+	readRand  bool
+	writeRand bool
+}
+
+// Stats aggregates simulation results; it maps to Fig. 12's panels.
+type Stats struct {
+	Submitted   int64
+	Fallbacks   int64 // requests the driver redirected to the CPU
+	Completed   int64
+	Conditional int64 // conditional accesses performed (reads + write-backs)
+	Random      int64 // random accesses performed
+	ReadCond    int64
+	ReadRand    int64
+	WriteCond   int64
+	WriteRand   int64
+
+	MaxSPMOccupancy int
+	SumLatencyPs    dram.Ps
+	MaxLatencyPs    dram.Ps
+	Windows         int64
+	// BusyWindows counts refresh windows in which the NMA performed at
+	// least one access — §5: "refresh cycles are no longer wasted
+	// since useful computation occurs within the DRAM rank during an
+	// all-bank refresh".
+	BusyWindows int64
+}
+
+// FallbackRate returns fallbacks / submitted.
+func (s Stats) FallbackRate() float64 {
+	if s.Submitted == 0 {
+		return 0
+	}
+	return float64(s.Fallbacks) / float64(s.Submitted)
+}
+
+// ConditionalFraction returns the share of NMA accesses that were
+// conditional (the paper reports the majority are, enabling the 10.1%
+// access-energy saving).
+func (s Stats) ConditionalFraction() float64 {
+	tot := s.Conditional + s.Random
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.Conditional) / float64(tot)
+}
+
+// BusyWindowFraction returns the share of refresh windows that
+// carried NMA work.
+func (s Stats) BusyWindowFraction() float64 {
+	if s.Windows == 0 {
+		return 0
+	}
+	return float64(s.BusyWindows) / float64(s.Windows)
+}
+
+// SlotUtilization returns performed accesses over offered access slots
+// (conditional budget + random slot per window): how much of the side
+// channel the workload consumed.
+func (s Stats) SlotUtilization(slotsPerWindow int) float64 {
+	if s.Windows == 0 || slotsPerWindow <= 0 {
+		return 0
+	}
+	return float64(s.Conditional+s.Random) / float64(s.Windows*int64(slotsPerWindow))
+}
+
+// MeanLatencyMs returns the mean offload completion latency in ms.
+func (s Stats) MeanLatencyMs() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return float64(s.SumLatencyPs) / float64(s.Completed) / float64(dram.Millisecond)
+}
+
+// Sim is the per-rank NMA simulator. It advances refresh window by
+// refresh window, ingesting requests and scheduling conditional and
+// random accesses.
+//
+// Internally the queue and the completed set are indexed by refresh
+// group so each window's conditional matching costs O(budget), not
+// O(queue): the Fig. 12 sensitivity sweeps run tens of thousands of
+// windows per configuration.
+type Sim struct {
+	cfg    Config
+	groups int
+
+	window  int64 // next window index
+	queued  []*op // Compress_Request_Queue FIFO (reads not yet done)
+	spmUsed int
+
+	// queuedByGroup buckets queued ops by SrcGroup; completedByGroup
+	// buckets COMPLETED ops by DstGroup (key -1 holds flexible
+	// destinations). Entries are removed lazily: an op may linger in a
+	// bucket or FIFO after being served and is skipped on pop.
+	queuedByGroup    map[int][]*op
+	completedByGroup map[int][]*op
+	completedFIFO    []*op
+	pending          []*op // PENDING ops awaiting engine completion
+	queuedCount      int   // live (unserved) queue entries
+
+	stats Stats
+}
+
+// NewSim builds a simulator; it panics on invalid configuration, which
+// indicates a programming error in the experiment harness.
+func NewSim(cfg Config) *Sim {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Sim{
+		cfg:              cfg,
+		groups:           cfg.Device.RefreshGroups(),
+		queuedByGroup:    map[int][]*op{},
+		completedByGroup: map[int][]*op{},
+	}
+}
+
+// Config returns the simulator's configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Stats returns the accumulated statistics.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// Now returns the execution time of the next refresh window: requests
+// arriving during interval k are batched and executed during the tRFC
+// at the end of the interval (Fig. 10), i.e. at (k+1) × tREFI.
+func (s *Sim) Now() dram.Ps { return (s.window + 1) * s.cfg.Timings.TREFI }
+
+// SPMUsed returns the current SPM occupancy in bytes.
+func (s *Sim) SPMUsed() int { return s.spmUsed }
+
+// QueueLen returns the current Compress_Request_Queue depth.
+func (s *Sim) QueueLen() int { return s.queuedCount }
+
+// Submit offers a request to the NMA. It returns false when the
+// request was rejected and the driver must fall back to the CPU.
+// Back-pressure propagates exactly as §6 describes: a full SPM stalls
+// reads, stalled reads fill the Compress_Request_Queue, and a full
+// queue triggers CPU_Fallback.
+func (s *Sim) Submit(req Request) bool {
+	s.stats.Submitted++
+	if req.SrcGroup < 0 || req.SrcGroup >= s.groups || req.DstGroup < -1 || req.DstGroup >= s.groups {
+		panic(fmt.Sprintf("nma: refresh group out of range in %+v", req))
+	}
+	if s.queuedCount >= s.cfg.QueueDepth {
+		s.stats.Fallbacks++
+		return false
+	}
+	o := &op{req: req, state: opQueued}
+	s.queued = append(s.queued, o)
+	s.queuedCount++
+	s.queuedByGroup[req.SrcGroup] = append(s.queuedByGroup[req.SrcGroup], o)
+	return true
+}
+
+// spmFootprint returns the SPM bytes an operation occupies while
+// resident: a compress op stages the uncompressed page then shrinks
+// logically to its output; we charge the larger (input) size for the
+// whole residency, an upper bound consistent with the driver's lazy
+// tracking. A decompress op stages the compressed input and produces
+// a full page; we charge the output size.
+func (s *Sim) spmFootprint(k OpKind) int {
+	if k == CompressOp {
+		return s.cfg.PageBytes
+	}
+	return s.cfg.PageBytes // output buffer dominates
+}
+
+// spmHasRoom reports whether a read of the given kind fits in the SPM
+// right now.
+func (s *Sim) spmHasRoom(k OpKind) bool {
+	return s.spmUsed+s.spmFootprint(k) <= s.cfg.SPMBytes
+}
+
+// StepWindow advances the simulation by one refresh window, performing
+// NMA accesses inside it. Returns the window's refresh group.
+func (s *Sim) StepWindow() int {
+	group := int(s.window % int64(s.groups))
+	now := s.Now()
+	cond := s.cfg.AccessesPerTRFC
+	rand := s.cfg.RandomPerTRFC
+
+	// Engine completions since the last window. The engine finishes a
+	// page within roughly one window (4 KiB at ≥14 GB/s ≪ tREFI), so
+	// this list stays short.
+	keep := s.pending[:0]
+	for _, o := range s.pending {
+		if o.state == opPending && o.doneAt <= now {
+			o.state = opCompleted
+			key := o.req.DstGroup // -1 bucket holds flexible destinations
+			s.completedByGroup[key] = append(s.completedByGroup[key], o)
+			s.completedFIFO = append(s.completedFIFO, o)
+		} else {
+			keep = append(keep, o)
+		}
+	}
+	s.pending = keep
+
+	// Phase A: conditional write-backs. COMPLETED pages whose
+	// destination row is being refreshed now — or whose destination is
+	// flexible (DstGroup < 0, a group-aware allocator) — go back at no
+	// activation cost.
+	for cond > 0 {
+		o := s.popCompletedGroup(group)
+		if o == nil {
+			o = s.popCompletedGroup(-1)
+		}
+		if o == nil {
+			break
+		}
+		s.writeBack(o, now, false)
+		cond--
+	}
+	// Phase B: conditional reads. Queued requests whose source row is
+	// being refreshed now are read into the SPM, space permitting.
+	for cond > 0 {
+		o := s.peekQueuedGroup(group)
+		if o == nil || !s.spmHasRoom(o.req.Kind) {
+			break
+		}
+		s.popQueuedGroup(group)
+		s.startRead(o, now, false)
+		cond--
+	}
+	// Phase C: random accesses. Random accesses cost activation energy
+	// and are rationed (§7: one per tRFC), so the scheduler spends them
+	// only under pressure: when the SPM is filling with completed pages
+	// whose destination windows are far away, when the request queue is
+	// filling faster than conditional reads drain it, or when an
+	// operation has aged past a full retention walk (its window came up
+	// but the conditional budget was exhausted).
+	aged := now - s.cfg.Timings.Retention
+	for rand > 0 {
+		var victim *op
+		spmPressure := s.spmUsed > s.cfg.SPMBytes*3/4
+		queuePressure := s.queuedCount > s.cfg.QueueDepth*3/4
+		switch {
+		case spmPressure:
+			victim = s.oldestCompleted()
+		case queuePressure:
+			victim = s.oldestQueued()
+		}
+		if victim == nil {
+			// Age-based rescue, oldest first across both stages.
+			if o := s.oldestCompleted(); o != nil && o.doneAt <= aged {
+				victim = o
+			} else if o := s.oldestQueued(); o != nil && o.req.Arrive <= aged {
+				victim = o
+			}
+		}
+		if victim != nil && victim.state == opQueued && !s.spmHasRoom(victim.req.Kind) {
+			// A blocked read cannot proceed; try draining instead.
+			victim = s.oldestCompleted()
+		}
+		if victim == nil {
+			break
+		}
+		if victim.state == opQueued {
+			s.startRead(victim, now, true)
+		} else {
+			s.writeBack(victim, now, true)
+		}
+		rand--
+	}
+
+	if s.spmUsed > s.stats.MaxSPMOccupancy {
+		s.stats.MaxSPMOccupancy = s.spmUsed
+	}
+	if performed := (s.cfg.AccessesPerTRFC - cond) + (s.cfg.RandomPerTRFC - rand); performed > 0 {
+		s.stats.BusyWindows++
+	}
+	s.stats.Windows++
+	s.window++
+	return group
+}
+
+// popCompletedGroup removes and returns the oldest COMPLETED op whose
+// destination bucket is key, skipping tombstones left by random
+// write-backs.
+func (s *Sim) popCompletedGroup(key int) *op {
+	bucket := s.completedByGroup[key]
+	for len(bucket) > 0 {
+		o := bucket[0]
+		bucket = bucket[1:]
+		if o.state == opCompleted {
+			s.completedByGroup[key] = bucket
+			return o
+		}
+	}
+	if len(bucket) == 0 {
+		delete(s.completedByGroup, key)
+	}
+	return nil
+}
+
+// peekQueuedGroup returns (without removing) the oldest queued op with
+// the given source group, compacting tombstones.
+func (s *Sim) peekQueuedGroup(group int) *op {
+	bucket := s.queuedByGroup[group]
+	for len(bucket) > 0 {
+		if bucket[0].state == opQueued {
+			s.queuedByGroup[group] = bucket
+			return bucket[0]
+		}
+		bucket = bucket[1:]
+	}
+	delete(s.queuedByGroup, group)
+	return nil
+}
+
+func (s *Sim) popQueuedGroup(group int) {
+	bucket := s.queuedByGroup[group]
+	if len(bucket) > 0 {
+		s.queuedByGroup[group] = bucket[1:]
+	}
+}
+
+// oldestQueued returns the longest-waiting queued op, trimming served
+// entries off the FIFO head.
+func (s *Sim) oldestQueued() *op {
+	for len(s.queued) > 0 {
+		if s.queued[0].state == opQueued {
+			return s.queued[0]
+		}
+		s.queued = s.queued[1:]
+	}
+	return nil
+}
+
+// oldestCompleted returns the longest-completed op awaiting
+// write-back, trimming the FIFO head.
+func (s *Sim) oldestCompleted() *op {
+	for len(s.completedFIFO) > 0 {
+		if s.completedFIFO[0].state == opCompleted {
+			return s.completedFIFO[0]
+		}
+		s.completedFIFO = s.completedFIFO[1:]
+	}
+	return nil
+}
+
+// startRead moves a queued op into the SPM and starts its engine run.
+func (s *Sim) startRead(o *op, now dram.Ps, random bool) {
+	o.state = opPending
+	o.readAt = now
+	o.readRand = random
+	o.spmBytes = s.spmFootprint(o.req.Kind)
+	s.spmUsed += o.spmBytes
+	s.queuedCount--
+	gbps := s.cfg.CompressGBps
+	if o.req.Kind == DecompressOp {
+		gbps = s.cfg.DecompressGBps
+	}
+	computePs := dram.Ps(float64(s.cfg.PageBytes) / (gbps * 1e9) * float64(dram.Second))
+	o.doneAt = now + s.cfg.Timings.TRFC + computePs
+	s.pending = append(s.pending, o)
+	s.countAccess(random)
+	if random {
+		s.stats.ReadRand++
+	} else {
+		s.stats.ReadCond++
+	}
+}
+
+// writeBack finishes an op: its output leaves the SPM.
+func (s *Sim) writeBack(o *op, now dram.Ps, random bool) {
+	o.state = opDone
+	o.wroteAt = now
+	s.spmUsed -= o.spmBytes
+	s.countAccess(random)
+	if random {
+		s.stats.WriteRand++
+	} else {
+		s.stats.WriteCond++
+	}
+	o.writeRand = random
+	s.stats.Completed++
+	lat := now + s.cfg.Timings.TRFC - o.req.Arrive
+	s.stats.SumLatencyPs += lat
+	if lat > s.stats.MaxLatencyPs {
+		s.stats.MaxLatencyPs = lat
+	}
+}
+
+func (s *Sim) countAccess(random bool) {
+	if random {
+		s.stats.Random++
+	} else {
+		s.stats.Conditional++
+	}
+}
+
+// RunWindows steps n windows, pulling arrivals from next, which must
+// return requests in nondecreasing Arrive order and ok=false when the
+// stream ends. Arrivals due before each window's start are submitted
+// before the window executes.
+func (s *Sim) RunWindows(n int, next func() (Request, bool)) {
+	pendingValid := false
+	var pending Request
+	for i := 0; i < n; i++ {
+		windowStart := s.Now()
+		for {
+			if !pendingValid {
+				r, ok := next()
+				if !ok {
+					break
+				}
+				pending = r
+				pendingValid = true
+			}
+			if pending.Arrive > windowStart {
+				break
+			}
+			s.Submit(pending)
+			pendingValid = false
+		}
+		s.StepWindow()
+	}
+}

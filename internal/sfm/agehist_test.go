@@ -1,0 +1,120 @@
+package sfm
+
+import (
+	"testing"
+
+	"xfm/internal/dram"
+)
+
+// ageHeap builds a heap whose page i was last accessed at time
+// i seconds.
+func ageHeap(pages int) *Heap {
+	h := NewHeap(newBackend())
+	for i := 0; i < pages; i++ {
+		data := make([]byte, PageSize)
+		data[0] = byte(i)
+		h.Alloc(dram.Ps(i)*dram.Second, data)
+	}
+	return h
+}
+
+func TestScanAgesBasics(t *testing.T) {
+	h := ageHeap(10)
+	now := 10 * dram.Second
+	hist := ScanAges(h, now)
+	if hist.Pages() != 10 {
+		t.Fatalf("pages = %d", hist.Pages())
+	}
+	// Ages are 1..10 seconds. Half the pages are idle ≥ 6 s.
+	if got := hist.ColdFraction(6 * dram.Second); got != 0.5 {
+		t.Errorf("cold fraction at 6s = %v, want 0.5", got)
+	}
+	if got := hist.ColdFraction(0); got != 1 {
+		t.Errorf("cold fraction at 0 = %v, want 1", got)
+	}
+	if got := hist.ColdFraction(100 * dram.Second); got != 0 {
+		t.Errorf("cold fraction at 100s = %v, want 0", got)
+	}
+}
+
+func TestThresholdForColdFraction(t *testing.T) {
+	h := ageHeap(10)
+	hist := ScanAges(h, 10*dram.Second)
+	// Want 30% cold: threshold must be the age of the 3rd-oldest page
+	// (8 s), and applying it must mark exactly 3 pages.
+	thr, ok := hist.ThresholdForColdFraction(0.3)
+	if !ok {
+		t.Fatal("no threshold found")
+	}
+	if got := hist.ColdFraction(thr); got < 0.3 || got > 0.35 {
+		t.Errorf("threshold %v yields cold fraction %v, want ≈0.3", thr, got)
+	}
+	if _, ok := hist.ThresholdForColdFraction(0); ok {
+		t.Error("zero target accepted")
+	}
+	if _, ok := hist.ThresholdForColdFraction(1.5); ok {
+		t.Error("target > 1 accepted")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := ageHeap(11)
+	hist := ScanAges(h, 11*dram.Second)
+	// Ages 1..11 s; median is 6 s.
+	if got := hist.Quantile(0.5); got != 6*dram.Second {
+		t.Errorf("median = %v, want 6 s", got)
+	}
+	if hist.Quantile(0) != dram.Second || hist.Quantile(1) != 11*dram.Second {
+		t.Error("extreme quantiles wrong")
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHeap(newBackend())
+	hist := ScanAges(h, dram.Second)
+	if hist.Pages() != 0 || hist.ColdFraction(0) != 0 || hist.Quantile(0.5) != 0 {
+		t.Error("empty histogram misbehaves")
+	}
+	if _, ok := hist.ThresholdForColdFraction(0.3); ok {
+		t.Error("empty histogram produced a threshold")
+	}
+}
+
+func TestAdaptiveColdControllerHitsTarget(t *testing.T) {
+	h := ageHeap(100)
+	c := &AdaptiveColdController{Heap: h, TargetColdFraction: 0.30}
+	demoted := c.Run(100 * dram.Second)
+	if demoted < 28 || demoted > 32 {
+		t.Errorf("demoted %d pages, want ≈30 (30%% of 100)", demoted)
+	}
+	if c.LastThreshold == 0 {
+		t.Error("threshold not recorded")
+	}
+	// Precisely the oldest pages were demoted. Earlier allocation =
+	// earlier last access = older, so the demoted set is the low
+	// indexes.
+	for i, id := range h.PageIDs() {
+		resident := h.Resident(id)
+		if i < demoted && resident {
+			t.Errorf("old page %d not demoted", i)
+		}
+		if i >= demoted && !resident {
+			t.Errorf("young page %d demoted", i)
+		}
+	}
+}
+
+func TestAdaptiveControllerMinThreshold(t *testing.T) {
+	h := ageHeap(10)
+	c := &AdaptiveColdController{
+		Heap:               h,
+		TargetColdFraction: 1.0,
+		MinThreshold:       5 * dram.Second,
+	}
+	// Target says demote everything, but the floor protects pages idle
+	// < 5 s (ages are 1..10 s ⇒ 6 qualify).
+	demoted := c.Run(10 * dram.Second)
+	if demoted != 6 {
+		t.Errorf("demoted %d, want 6 (floor protects the rest)", demoted)
+	}
+}

@@ -1,0 +1,244 @@
+// Package sfm implements the software-defined far memory stack of the
+// paper (§2.1, §6): an application-integrated far-memory heap (in the
+// style of AIFM), a cold-page-selection control plane (Google-style
+// age scanning and Meta-style pressure control), and a zswap-like
+// backend that compresses cold pages into a zsmalloc-managed region
+// indexed by a red-black tree.
+package sfm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"xfm/internal/compress"
+	"xfm/internal/dram"
+	"xfm/internal/rbtree"
+	"xfm/internal/zsmalloc"
+)
+
+// PageSize is the OS page granularity of all swap operations (§7:
+// "Objects are allocated at the traditional page-size granularity").
+const PageSize = 4096
+
+// PageID identifies an application page.
+type PageID int64
+
+// Errors returned by backends.
+var (
+	ErrNotFound = errors.New("sfm: page not in far memory")
+	ErrExists   = errors.New("sfm: page already in far memory")
+	ErrFull     = errors.New("sfm: far memory region full")
+)
+
+// Backend stores compressed cold pages and restores them on demand.
+// SwapOut corresponds to the paper's swapOut()/xfm_swap_out() control
+// flow and SwapIn to swapIn()/xfm_swap_in() (§6).
+type Backend interface {
+	// SwapOut compresses data (one page) and stores it under id.
+	SwapOut(now dram.Ps, id PageID, data []byte) error
+	// SwapIn decompresses the page stored under id into dst (len
+	// PageSize) and removes it from far memory. The offload hint is
+	// true for preemptive promotions (prefetch), where the controller
+	// permits NMA offloading; demand faults pass false and the
+	// backend must take the low-latency CPU path (§6: "CPU_Fallback
+	// is called by default unless the do_offload parameter is
+	// asserted").
+	SwapIn(now dram.Ps, id PageID, dst []byte, offload bool) error
+	// Contains reports whether id is stored.
+	Contains(id PageID) bool
+	// Compact defragments the region and returns bytes moved.
+	Compact() int64
+	// Stats returns accumulated counters.
+	Stats() BackendStats
+}
+
+// BackendStats aggregates backend activity. Cycle counts follow each
+// codec's CodecInfo model and feed the §3 cost model.
+type BackendStats struct {
+	SwapOuts, SwapIns   int64
+	BytesIn, BytesOut   int64 // uncompressed bytes swapped out / in
+	CompressedBytes     int64 // current bytes stored (compressed)
+	StoredPages         int64 // current page count
+	CPUCycles           float64
+	IncompressiblePages int64
+	SameFilledPages     int64
+	CompactOnFull       int64 // capacity-triggered compactions (§6)
+	Region              zsmalloc.Stats
+
+	// Offloads and Fallbacks are populated by NMA-backed backends.
+	Offloads, Fallbacks int64
+}
+
+// CompressionRatio returns lifetime original/compressed over all
+// swap-outs.
+func (s BackendStats) CompressionRatio() float64 {
+	if s.Region.StoredBytes == 0 || s.StoredPages == 0 {
+		return 1
+	}
+	return float64(s.StoredPages) * PageSize / float64(s.Region.StoredBytes)
+}
+
+// CPUBackend is the baseline zswap-style backend: the CPU compresses
+// and decompresses pages synchronously with a software codec.
+type CPUBackend struct {
+	codec compress.Codec
+	alloc *zsmalloc.Allocator
+	index *rbtree.Tree[PageID, entry]
+	stats BackendStats
+}
+
+type entry struct {
+	handle  zsmalloc.Handle
+	rawSize int
+	stored  bool // false when kept uncompressed (incompressible page)
+	// sameFilled marks a page whose every 8-byte word equals fillWord:
+	// zswap stores such pages as just the word, with no zsmalloc
+	// allocation at all (the "same-filled page" optimization).
+	sameFilled bool
+	fillWord   uint64
+}
+
+// NewCPUBackend builds a CPU backend with the given codec and a far
+// memory region limited to regionBytes of encapsulating pages
+// (regionBytes ≤ 0 means unlimited).
+func NewCPUBackend(codec compress.Codec, regionBytes int64) *CPUBackend {
+	return &CPUBackend{
+		codec: codec,
+		alloc: zsmalloc.New(regionBytes),
+		index: rbtree.New[PageID, entry](func(a, b PageID) bool { return a < b }),
+	}
+}
+
+// sameFilledWord reports whether every aligned 8-byte word of the
+// page equals the first one, returning that word.
+func sameFilledWord(data []byte) (uint64, bool) {
+	w0 := binary.LittleEndian.Uint64(data)
+	for off := 8; off < len(data); off += 8 {
+		if binary.LittleEndian.Uint64(data[off:]) != w0 {
+			return 0, false
+		}
+	}
+	return w0, true
+}
+
+// SwapOut implements Backend.
+func (b *CPUBackend) SwapOut(now dram.Ps, id PageID, data []byte) error {
+	if len(data) != PageSize {
+		return fmt.Errorf("sfm: page %d has %d bytes, want %d", id, len(data), PageSize)
+	}
+	if _, dup := b.index.Get(id); dup {
+		return ErrExists
+	}
+	if w, same := sameFilledWord(data); same {
+		// Same-filled page: store only the fill word (zswap's
+		// optimization; zero pages are the common case).
+		b.index.Put(id, entry{rawSize: PageSize, sameFilled: true, fillWord: w})
+		b.stats.SwapOuts++
+		b.stats.BytesOut += PageSize
+		b.stats.StoredPages++
+		b.stats.SameFilledPages++
+		return nil
+	}
+	comp := b.codec.Compress(nil, data)
+	stored := comp
+	e := entry{rawSize: PageSize, stored: true}
+	if len(comp) >= PageSize {
+		// Incompressible page: store raw, like zswap's same-size
+		// passthrough.
+		stored = data
+		e.stored = false
+		b.stats.IncompressiblePages++
+	}
+	h, err := b.alloc.Alloc(stored)
+	if err == zsmalloc.ErrCapacity {
+		// §6: swapOut "initiates an internal compaction operation if
+		// the SFM capacity limit is hit", then retries once.
+		b.alloc.Compact()
+		b.stats.CompactOnFull++
+		h, err = b.alloc.Alloc(stored)
+	}
+	if err != nil {
+		if err == zsmalloc.ErrCapacity {
+			return ErrFull
+		}
+		return err
+	}
+	e.handle = h
+	b.index.Put(id, e)
+	b.stats.SwapOuts++
+	b.stats.BytesOut += PageSize
+	b.stats.StoredPages++
+	b.stats.CompressedBytes += int64(len(stored))
+	b.stats.CPUCycles += b.codec.Info().CompressCyclesPerByte * PageSize
+	return nil
+}
+
+// SwapIn implements Backend. The CPU backend ignores the offload hint:
+// every swap-in runs on the CPU.
+func (b *CPUBackend) SwapIn(now dram.Ps, id PageID, dst []byte, offload bool) error {
+	if len(dst) != PageSize {
+		return fmt.Errorf("sfm: dst has %d bytes, want %d", len(dst), PageSize)
+	}
+	e, ok := b.index.Get(id)
+	if !ok {
+		return ErrNotFound
+	}
+	if e.sameFilled {
+		for off := 0; off < PageSize; off += 8 {
+			binary.LittleEndian.PutUint64(dst[off:], e.fillWord)
+		}
+		b.index.Delete(id)
+		b.stats.SwapIns++
+		b.stats.BytesIn += PageSize
+		b.stats.StoredPages--
+		return nil
+	}
+	raw, err := b.alloc.Get(nil, e.handle)
+	if err != nil {
+		return err
+	}
+	if e.stored {
+		out, err := b.codec.Decompress(dst[:0], raw)
+		if err != nil {
+			return err
+		}
+		if len(out) != PageSize {
+			return fmt.Errorf("sfm: page %d decompressed to %d bytes", id, len(out))
+		}
+	} else {
+		copy(dst, raw)
+	}
+	if err := b.alloc.Free(e.handle); err != nil {
+		return err
+	}
+	b.index.Delete(id)
+	b.stats.SwapIns++
+	b.stats.BytesIn += PageSize
+	b.stats.StoredPages--
+	b.stats.CompressedBytes -= int64(len(raw))
+	b.stats.CPUCycles += b.codec.Info().DecompressCyclesPerByte * PageSize
+	return nil
+}
+
+// Contains implements Backend.
+func (b *CPUBackend) Contains(id PageID) bool {
+	_, ok := b.index.Get(id)
+	return ok
+}
+
+// Compact implements Backend.
+func (b *CPUBackend) Compact() int64 { return b.alloc.Compact() }
+
+// Stats implements Backend.
+func (b *CPUBackend) Stats() BackendStats {
+	s := b.stats
+	s.Region = b.alloc.Stats()
+	return s
+}
+
+// StoredPageIDs returns the ids currently in far memory in ascending
+// order (compaction and inspection helper).
+func (b *CPUBackend) StoredPageIDs() []PageID {
+	return b.index.Keys()
+}

@@ -1,0 +1,86 @@
+package sfm
+
+import (
+	"sync"
+	"testing"
+
+	"xfm/internal/dram"
+)
+
+func TestConcurrentHeapParallelChurn(t *testing.T) {
+	ch := NewConcurrentHeap(NewHeap(newBackend()))
+	const pages = 64
+	ids := make([]PageID, pages)
+	for i := range ids {
+		data := make([]byte, PageSize)
+		data[0] = byte(i)
+		ids[i] = ch.Alloc(0, data)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for op := 0; op < 500; op++ {
+				id := ids[(g*7+op)%pages]
+				now := dram.Ps(g*1000+op) * dram.Microsecond
+				switch op % 3 {
+				case 0:
+					ch.SwapOut(now, id) // may fail if already out; fine
+				case 1:
+					if data, err := ch.Touch(now, id); err != nil {
+						t.Errorf("touch: %v", err)
+					} else if len(data) != PageSize {
+						t.Errorf("short page")
+					}
+				case 2:
+					ch.Prefetch(now, id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every page still holds its fill byte.
+	for i, id := range ids {
+		data, err := ch.Touch(dram.Second, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if data[0] != byte(i) {
+			t.Fatalf("page %d corrupted under concurrency", i)
+		}
+	}
+	st := ch.Stats()
+	if st.Allocated != pages {
+		t.Errorf("allocated = %d", st.Allocated)
+	}
+}
+
+func TestConcurrentHeapTouchReturnsCopy(t *testing.T) {
+	ch := NewConcurrentHeap(NewHeap(newBackend()))
+	id := ch.Alloc(0, []byte{1, 2, 3})
+	a, _ := ch.Touch(0, id)
+	a[0] = 99 // mutating the copy must not affect the heap
+	b, _ := ch.Touch(0, id)
+	if b[0] != 1 {
+		t.Error("Touch exposed the internal buffer")
+	}
+}
+
+func TestConcurrentHeapWrite(t *testing.T) {
+	ch := NewConcurrentHeap(NewHeap(newBackend()))
+	id := ch.Alloc(0, nil)
+	payload := make([]byte, PageSize)
+	payload[17] = 0xAB
+	if err := ch.Write(0, id, payload); err != nil {
+		t.Fatal(err)
+	}
+	ch.SwapOut(dram.Millisecond, id)
+	data, err := ch.Touch(dram.Second, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[17] != 0xAB {
+		t.Error("write lost through a swap cycle")
+	}
+}

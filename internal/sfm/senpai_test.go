@@ -1,0 +1,116 @@
+package sfm
+
+import (
+	"math/rand"
+	"testing"
+
+	"xfm/internal/compress"
+	"xfm/internal/dram"
+)
+
+func senpaiHeap(pages int) *Heap {
+	h := NewHeap(NewCPUBackend(compress.NewLZFast(), 0))
+	for i := 0; i < pages; i++ {
+		data := make([]byte, PageSize)
+		data[0] = byte(i) // avoid the same-filled path
+		h.Alloc(0, data)
+	}
+	return h
+}
+
+func TestSenpaiFirstRunInitializes(t *testing.T) {
+	h := senpaiHeap(100)
+	c := NewSenpaiController(h)
+	if n := c.Run(dram.Second); n != 0 {
+		t.Errorf("first run demoted %d pages", n)
+	}
+	if c.Allowance() != 100 {
+		t.Errorf("allowance = %d, want 100 (current resident set)", c.Allowance())
+	}
+}
+
+func TestSenpaiShrinksUnderZeroPressure(t *testing.T) {
+	h := senpaiHeap(100)
+	c := NewSenpaiController(h)
+	c.Run(dram.Second)
+	// No faults ever occur: the controller should keep probing down.
+	for i := 2; i <= 20; i++ {
+		c.Run(dram.Ps(i) * dram.Second)
+	}
+	if c.Allowance() >= 100 {
+		t.Errorf("allowance = %d, want shrunk below 100", c.Allowance())
+	}
+	if got := h.Stats().ResidentPages; got > c.Allowance() {
+		t.Errorf("resident %d exceeds allowance %d", got, c.Allowance())
+	}
+	if h.Stats().FarPages == 0 {
+		t.Error("no pages demoted despite zero pressure")
+	}
+}
+
+func TestSenpaiBacksOffUnderPressure(t *testing.T) {
+	h := senpaiHeap(100)
+	c := NewSenpaiController(h)
+	now := dram.Second
+	c.Run(now)
+	// Shrink for a while.
+	for i := 0; i < 10; i++ {
+		now += dram.Second
+		c.Run(now)
+	}
+	shrunk := c.Allowance()
+	// Now the workload touches demoted pages: demand faults = pressure.
+	for _, id := range h.PageIDs() {
+		if !h.Resident(id) {
+			h.Touch(now, id)
+		}
+	}
+	now += dram.Millisecond // short interval → high measured pressure
+	c.Run(now)
+	if c.Allowance() <= shrunk {
+		t.Errorf("allowance %d did not grow after pressure (was %d)", c.Allowance(), shrunk)
+	}
+	if c.LastPressure <= c.TargetPressure {
+		t.Errorf("pressure %.5f not above target %.5f", c.LastPressure, c.TargetPressure)
+	}
+}
+
+func TestSenpaiRespectsFloor(t *testing.T) {
+	h := senpaiHeap(20)
+	c := NewSenpaiController(h)
+	c.MinResidentPages = 15
+	now := dram.Second
+	c.Run(now)
+	for i := 0; i < 100; i++ {
+		now += dram.Second
+		c.Run(now)
+	}
+	if c.Allowance() < 15 {
+		t.Errorf("allowance %d fell below floor 15", c.Allowance())
+	}
+}
+
+func TestSenpaiConvergesOnWorkingSet(t *testing.T) {
+	// A Zipf workload over 200 pages with a hot head: senpai should
+	// settle well below 200 resident pages without sustained pressure.
+	h := senpaiHeap(200)
+	c := NewSenpaiController(h)
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.5, 1, 199)
+	now := dram.Ps(0)
+	for step := 0; step < 300; step++ {
+		for i := 0; i < 50; i++ {
+			now += 100 * dram.Microsecond
+			h.Touch(now, PageID(zipf.Uint64()+1))
+		}
+		now += 10 * dram.Millisecond
+		c.Run(now)
+	}
+	resident := h.Stats().ResidentPages
+	if resident >= 190 {
+		t.Errorf("resident = %d of 200; senpai failed to reclaim cold tail", resident)
+	}
+	if resident < c.MinResidentPages {
+		t.Errorf("resident %d below floor", resident)
+	}
+}

@@ -1,0 +1,73 @@
+package sfm
+
+import (
+	"xfm/internal/dram"
+	"xfm/internal/trace"
+)
+
+// TracingBackend wraps any Backend and records every swap operation as
+// a trace.Record — the capture point the paper's methodology implies
+// ("Swap-in/out traces are generated using the AIFM userspace far
+// memory framework", §7). Demand swap-ins and offloadable prefetches
+// are distinguished by the offload hint.
+type TracingBackend struct {
+	inner Backend
+	recs  []trace.Record
+}
+
+// NewTracingBackend wraps inner.
+func NewTracingBackend(inner Backend) *TracingBackend {
+	return &TracingBackend{inner: inner}
+}
+
+// SwapOut implements Backend.
+func (t *TracingBackend) SwapOut(now dram.Ps, id PageID, data []byte) error {
+	if err := t.inner.SwapOut(now, id, data); err != nil {
+		return err
+	}
+	t.recs = append(t.recs, trace.Record{
+		AtPs: now, Op: trace.SwapOut, PageID: int64(id), Bytes: PageSize,
+	})
+	return nil
+}
+
+// SwapIn implements Backend.
+func (t *TracingBackend) SwapIn(now dram.Ps, id PageID, dst []byte, offload bool) error {
+	if err := t.inner.SwapIn(now, id, dst, offload); err != nil {
+		return err
+	}
+	op := trace.SwapIn
+	if offload {
+		op = trace.Prefetch
+	}
+	t.recs = append(t.recs, trace.Record{
+		AtPs: now, Op: op, PageID: int64(id), Bytes: PageSize,
+	})
+	return nil
+}
+
+// Contains implements Backend.
+func (t *TracingBackend) Contains(id PageID) bool { return t.inner.Contains(id) }
+
+// Compact implements Backend.
+func (t *TracingBackend) Compact() int64 { return t.inner.Compact() }
+
+// Stats implements Backend.
+func (t *TracingBackend) Stats() BackendStats { return t.inner.Stats() }
+
+// Trace returns the records captured so far (shared slice; callers
+// must not mutate).
+func (t *TracingBackend) Trace() []trace.Record { return t.recs }
+
+// WriteTrace drains the captured records into w and clears the buffer.
+func (t *TracingBackend) WriteTrace(w *trace.Writer) error {
+	for _, r := range t.recs {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	t.recs = t.recs[:0]
+	return w.Flush()
+}
+
+var _ Backend = (*TracingBackend)(nil)

@@ -1,0 +1,71 @@
+package sfm
+
+import (
+	"bytes"
+	"testing"
+
+	"xfm/internal/compress"
+	"xfm/internal/dram"
+	"xfm/internal/trace"
+)
+
+func TestTracingBackendRecordsOps(t *testing.T) {
+	tb := NewTracingBackend(newBackend())
+	h := NewHeap(tb)
+	id := h.Alloc(0, []byte("traced page"))
+	if err := h.SwapOut(dram.Microsecond, id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Touch(2*dram.Microsecond, id); err != nil {
+		t.Fatal(err)
+	}
+	h.SwapOut(3*dram.Microsecond, id)
+	if err := h.Prefetch(4*dram.Microsecond, id); err != nil {
+		t.Fatal(err)
+	}
+	recs := tb.Trace()
+	wantOps := []trace.Op{trace.SwapOut, trace.SwapIn, trace.SwapOut, trace.Prefetch}
+	if len(recs) != len(wantOps) {
+		t.Fatalf("records = %d, want %d", len(recs), len(wantOps))
+	}
+	for i, r := range recs {
+		if r.Op != wantOps[i] {
+			t.Errorf("record %d op = %v, want %v", i, r.Op, wantOps[i])
+		}
+		if r.PageID != int64(id) || r.Bytes != PageSize {
+			t.Errorf("record %d fields wrong: %+v", i, r)
+		}
+	}
+}
+
+func TestTracingBackendSkipsFailedOps(t *testing.T) {
+	tb := NewTracingBackend(newBackend())
+	if err := tb.SwapOut(0, 1, []byte("short")); err == nil {
+		t.Fatal("short page accepted")
+	}
+	dst := make([]byte, PageSize)
+	if err := tb.SwapIn(0, 99, dst, false); err == nil {
+		t.Fatal("missing page accepted")
+	}
+	if len(tb.Trace()) != 0 {
+		t.Error("failed operations were traced")
+	}
+}
+
+func TestTracingBackendWriteTrace(t *testing.T) {
+	tb := NewTracingBackend(NewCPUBackend(compress.NewLZFast(), 0))
+	h := NewHeap(tb)
+	id := h.Alloc(0, []byte("x"))
+	h.SwapOut(dram.Microsecond, id)
+	var buf bytes.Buffer
+	if err := tb.WriteTrace(trace.NewWriter(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Trace()) != 0 {
+		t.Error("buffer not drained")
+	}
+	recs, err := trace.ReadAll(trace.NewReader(&buf))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("read back %d records, %v", len(recs), err)
+	}
+}

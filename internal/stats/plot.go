@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders labeled horizontal bars in plain text — enough to
+// eyeball a figure's shape in a terminal without plotting tooling.
+type BarChart struct {
+	Title string
+	// Width is the maximum bar width in characters (default 40).
+	Width int
+	rows  []barRow
+}
+
+type barRow struct {
+	label string
+	value float64
+	note  string
+}
+
+// NewBarChart creates a chart.
+func NewBarChart(title string) *BarChart {
+	return &BarChart{Title: title, Width: 40}
+}
+
+// Add appends one bar with an optional note rendered after the value.
+func (b *BarChart) Add(label string, value float64, note string) {
+	b.rows = append(b.rows, barRow{label: label, value: value, note: note})
+}
+
+// String renders the chart. Negative values render as empty bars with
+// the value still printed.
+func (b *BarChart) String() string {
+	if len(b.rows) == 0 {
+		return b.Title + "\n(no data)\n"
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, r := range b.rows {
+		if r.value > maxVal {
+			maxVal = r.value
+		}
+		if len(r.label) > maxLabel {
+			maxLabel = len(r.label)
+		}
+	}
+	width := b.Width
+	if width <= 0 {
+		width = 40
+	}
+	var sb strings.Builder
+	if b.Title != "" {
+		sb.WriteString(b.Title)
+		sb.WriteByte('\n')
+	}
+	for _, r := range b.rows {
+		n := 0
+		if maxVal > 0 && r.value > 0 {
+			n = int(r.value / maxVal * float64(width))
+			if n == 0 {
+				n = 1
+			}
+		}
+		sb.WriteString(fmt.Sprintf("%-*s |%-*s %.4g", maxLabel, r.label,
+			width, strings.Repeat("█", n), r.value))
+		if r.note != "" {
+			sb.WriteString("  " + r.note)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,210 @@
+// Package trace defines the swap-in/out trace format the emulator
+// consumes (§7: "Swap-in/out traces are generated using the AIFM
+// userspace far memory framework when running a synthetic web
+// front-end application"), with JSON-lines and compact binary
+// encodings.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Op is a swap operation kind.
+type Op byte
+
+// Swap operations.
+const (
+	SwapOut  Op = 'O' // demote: compress into far memory
+	SwapIn   Op = 'I' // demand promote: decompress on fault
+	Prefetch Op = 'P' // preemptive promote: offloadable decompress
+)
+
+// Valid reports whether the op is one of the defined kinds.
+func (o Op) Valid() bool { return o == SwapOut || o == SwapIn || o == Prefetch }
+
+func (o Op) String() string {
+	switch o {
+	case SwapOut:
+		return "out"
+	case SwapIn:
+		return "in"
+	case Prefetch:
+		return "prefetch"
+	default:
+		return "invalid"
+	}
+}
+
+// Record is one swap event.
+type Record struct {
+	AtPs   int64 // simulation timestamp in picoseconds
+	Op     Op
+	PageID int64
+	Bytes  int32 // page size (4096 for paging-granularity traces)
+}
+
+// ErrBadRecord is returned for malformed trace input.
+var ErrBadRecord = errors.New("trace: malformed record")
+
+// Writer emits records in the chosen encoding.
+type Writer struct {
+	w      *bufio.Writer
+	binary bool
+	n      int64
+}
+
+// NewWriter returns a text (JSON-lines-like) writer.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// NewBinaryWriter returns a compact binary writer (21 bytes/record).
+func NewBinaryWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w), binary: true}
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	if !r.Op.Valid() {
+		return ErrBadRecord
+	}
+	w.n++
+	if w.binary {
+		var buf [21]byte
+		binary.LittleEndian.PutUint64(buf[0:], uint64(r.AtPs))
+		buf[8] = byte(r.Op)
+		binary.LittleEndian.PutUint64(buf[9:], uint64(r.PageID))
+		binary.LittleEndian.PutUint32(buf[17:], uint32(r.Bytes))
+		_, err := w.w.Write(buf[:])
+		return err
+	}
+	_, err := fmt.Fprintf(w.w, "{\"at\":%d,\"op\":\"%c\",\"page\":%d,\"bytes\":%d}\n",
+		r.AtPs, r.Op, r.PageID, r.Bytes)
+	return err
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int64 { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes records.
+type Reader struct {
+	s      *bufio.Reader
+	binary bool
+}
+
+// NewReader returns a text reader.
+func NewReader(r io.Reader) *Reader { return &Reader{s: bufio.NewReader(r)} }
+
+// NewBinaryReader returns a binary reader.
+func NewBinaryReader(r io.Reader) *Reader {
+	return &Reader{s: bufio.NewReader(r), binary: true}
+}
+
+// Read returns the next record, or io.EOF at the end.
+func (r *Reader) Read() (Record, error) {
+	if r.binary {
+		var buf [21]byte
+		if _, err := io.ReadFull(r.s, buf[:]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return Record{}, ErrBadRecord
+			}
+			return Record{}, err
+		}
+		rec := Record{
+			AtPs:   int64(binary.LittleEndian.Uint64(buf[0:])),
+			Op:     Op(buf[8]),
+			PageID: int64(binary.LittleEndian.Uint64(buf[9:])),
+			Bytes:  int32(binary.LittleEndian.Uint32(buf[17:])),
+		}
+		if !rec.Op.Valid() {
+			return Record{}, ErrBadRecord
+		}
+		return rec, nil
+	}
+	line, err := r.s.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && strings.TrimSpace(line) == "" {
+			return Record{}, io.EOF
+		}
+		if err != io.EOF {
+			return Record{}, err
+		}
+	}
+	return parseLine(strings.TrimSpace(line))
+}
+
+// parseLine decodes one {"at":..,"op":"..","page":..,"bytes":..} line
+// with a small hand-rolled parser (records are machine-generated; a
+// full JSON decoder is unnecessary).
+func parseLine(line string) (Record, error) {
+	var rec Record
+	if !strings.HasPrefix(line, "{") || !strings.HasSuffix(line, "}") {
+		return rec, ErrBadRecord
+	}
+	fields := strings.Split(line[1:len(line)-1], ",")
+	seen := 0
+	for _, f := range fields {
+		kv := strings.SplitN(f, ":", 2)
+		if len(kv) != 2 {
+			return rec, ErrBadRecord
+		}
+		key := strings.Trim(kv[0], `" `)
+		val := strings.TrimSpace(kv[1])
+		switch key {
+		case "at":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return rec, ErrBadRecord
+			}
+			rec.AtPs = n
+			seen++
+		case "op":
+			val = strings.Trim(val, `"`)
+			if len(val) != 1 {
+				return rec, ErrBadRecord
+			}
+			rec.Op = Op(val[0])
+			seen++
+		case "page":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return rec, ErrBadRecord
+			}
+			rec.PageID = n
+			seen++
+		case "bytes":
+			n, err := strconv.ParseInt(val, 10, 32)
+			if err != nil {
+				return rec, ErrBadRecord
+			}
+			rec.Bytes = int32(n)
+			seen++
+		}
+	}
+	if seen != 4 || !rec.Op.Valid() {
+		return rec, ErrBadRecord
+	}
+	return rec, nil
+}
+
+// ReadAll drains the reader.
+func ReadAll(r *Reader) ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

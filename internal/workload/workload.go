@@ -1,0 +1,272 @@
+// Package workload provides the traffic generators behind the paper's
+// evaluation: promotion-rate-driven swap request streams (Fig. 12),
+// SPEC-like memory-intensive antagonist profiles (Fig. 11, §3.2), and
+// the synthetic DataFrame web front-end that exercises the AIFM-style
+// far-memory heap (§7).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"xfm/internal/dram"
+	"xfm/internal/nma"
+)
+
+// PromotionTraffic converts an SFM deployment's promotion rate into a
+// per-rank offload request stream. In a stable state the compression
+// and decompression rates are equal (§3.2), so each promoted page
+// produces one decompress and one compress request.
+type PromotionTraffic struct {
+	// SFMCapacityGB is the far-memory capacity (512 in the paper's
+	// sensitivity studies).
+	SFMCapacityGB float64
+	// PromotionRate is the fraction of far memory accessed per minute.
+	PromotionRate float64
+	// Ranks is the number of DRAM ranks the SFM region spreads over;
+	// traffic divides evenly among them.
+	Ranks int
+	// PageBytes is the offload granularity.
+	PageBytes int
+	// Groups is the refresh group modulus (8192).
+	Groups int
+	// Seed makes the stream deterministic.
+	Seed int64
+
+	// PagesPerGroup controls scan locality: cold-page selection walks
+	// application memory in address order (Google's kreclaimd scans;
+	// §2.1) and zsmalloc fills region slabs sequentially, so
+	// consecutive requests target consecutive DRAM rows — several
+	// pages land in each refresh group before the scan moves to the
+	// next. 0 disables clustering (uniform random groups).
+	PagesPerGroup int
+	// RestartProb is the per-request probability that a scan jumps to
+	// a fresh random position (a new reclaim pass or allocation
+	// region).
+	RestartProb float64
+
+	// DstAheadGroups enables refresh-aware destination placement: the
+	// backend's allocator picks a free slot whose DRAM row will be
+	// refreshed within the next DstAheadGroups windows after the
+	// request arrives, bounding how long a completed page waits in the
+	// SPM for its conditional write-back (design decision D4 in
+	// DESIGN.md). Requires TREFI. 0 keeps destinations on an
+	// independent scan (or uniform when PagesPerGroup is 0).
+	DstAheadGroups int
+	// TREFI is the refresh interval, needed to convert arrival times
+	// into window indexes for DstAheadGroups.
+	TREFI dram.Ps
+
+	// Burstiness makes the arrivals a two-state (on/off) modulated
+	// Poisson process with the same mean rate: during "on" periods the
+	// instantaneous rate is (1 + Burstiness)× the mean, during "off"
+	// periods (1 − Burstiness)×. 0 = plain Poisson. The paper's
+	// motivation calls SFM traffic "bursty swap ins and outs" (§3.2).
+	Burstiness float64
+	// BurstPeriod is the mean duration of each on/off phase.
+	BurstPeriod dram.Ps
+}
+
+// Validate checks the parameters.
+func (p PromotionTraffic) Validate() error {
+	if p.SFMCapacityGB <= 0 || p.PageBytes <= 0 || p.Ranks <= 0 || p.Groups <= 0 {
+		return fmt.Errorf("workload: non-positive parameter in %+v", p)
+	}
+	if p.PromotionRate < 0 || p.PromotionRate > 1 {
+		return fmt.Errorf("workload: promotion rate %v outside [0,1]", p.PromotionRate)
+	}
+	if p.Burstiness < 0 || p.Burstiness >= 1 {
+		if p.Burstiness != 0 {
+			return fmt.Errorf("workload: burstiness %v outside [0,1)", p.Burstiness)
+		}
+	}
+	if p.Burstiness > 0 && p.BurstPeriod <= 0 {
+		return fmt.Errorf("workload: burstiness requires a positive BurstPeriod")
+	}
+	return nil
+}
+
+// PagesPerSecondPerRank returns the offload request rate one rank
+// sees: promoted pages plus the matching compressions.
+func (p PromotionTraffic) PagesPerSecondPerRank() float64 {
+	bytesPerSec := p.SFMCapacityGB * 1e9 * p.PromotionRate / 60
+	pagesPerSec := bytesPerSec / float64(p.PageBytes)
+	return 2 * pagesPerSec / float64(p.Ranks) // compress + decompress
+}
+
+// SwapGBps returns the total swap bandwidth (each direction) in GB/s,
+// the EQ1 rate: capacity × promotion / 60 s.
+func (p PromotionTraffic) SwapGBps() float64 {
+	return p.SFMCapacityGB * p.PromotionRate / 60
+}
+
+// Stream returns an iterator producing Poisson arrivals for `dur` of
+// simulated time, in nondecreasing Arrive order, alternating compress
+// and decompress requests with uniformly distributed refresh groups.
+func (p PromotionTraffic) Stream(dur dram.Ps) func() (nma.Request, bool) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	rate := p.PagesPerSecondPerRank() // events per second
+	var now dram.Ps
+	var id int64
+
+	// Independent scan cursors for the two address spaces: cold pages
+	// in local memory (compress sources / decompress destinations) and
+	// slots in the SFM region (compress destinations / decompress
+	// sources).
+	srcScan := newScan(rng, p.Groups, p.PagesPerGroup, p.RestartProb)
+	dstScan := newScan(rng, p.Groups, p.PagesPerGroup, p.RestartProb)
+	if p.DstAheadGroups > 0 && p.TREFI <= 0 {
+		panic("workload: DstAheadGroups requires TREFI")
+	}
+
+	// Burst phase state: phaseEnd is when the current on/off phase
+	// expires.
+	burstOn := true
+	var phaseEnd dram.Ps
+	if p.Burstiness > 0 {
+		phaseEnd = dram.Ps(rng.ExpFloat64() * float64(p.BurstPeriod))
+	}
+
+	return func() (nma.Request, bool) {
+		if rate <= 0 {
+			return nma.Request{}, false
+		}
+		instRate := rate
+		if p.Burstiness > 0 {
+			for now >= phaseEnd {
+				burstOn = !burstOn
+				phaseEnd += dram.Ps(rng.ExpFloat64() * float64(p.BurstPeriod))
+			}
+			if burstOn {
+				instRate = rate * (1 + p.Burstiness)
+			} else {
+				instRate = rate * (1 - p.Burstiness)
+			}
+		}
+		// Exponential inter-arrival gap at the phase's rate.
+		gapSec := rng.ExpFloat64() / instRate
+		now += dram.Ps(gapSec * float64(dram.Second))
+		if now > dur {
+			return nma.Request{}, false
+		}
+		id++
+		kind := nma.CompressOp
+		if id%2 == 0 {
+			kind = nma.DecompressOp
+		}
+		dst := dstScan()
+		if p.DstAheadGroups > 0 {
+			window := int(now / p.TREFI)
+			dst = (window + 1 + rng.Intn(p.DstAheadGroups)) % p.Groups
+		}
+		return nma.Request{
+			ID:       id,
+			Kind:     kind,
+			SrcGroup: srcScan(),
+			DstGroup: dst,
+			Arrive:   now,
+		}, true
+	}
+}
+
+// newScan returns a refresh-group generator: uniform random when
+// pagesPerGroup == 0, otherwise a sequential scan emitting
+// pagesPerGroup values per group with random restarts.
+func newScan(rng *rand.Rand, groups, pagesPerGroup int, restart float64) func() int {
+	if pagesPerGroup <= 0 {
+		return func() int { return rng.Intn(groups) }
+	}
+	group := rng.Intn(groups)
+	emitted := 0
+	return func() int {
+		if restart > 0 && rng.Float64() < restart {
+			group = rng.Intn(groups)
+			emitted = 0
+		}
+		if emitted >= pagesPerGroup {
+			group = (group + 1) % groups
+			emitted = 0
+		}
+		emitted++
+		return group
+	}
+}
+
+// AntagonistProfile characterizes one memory-intensive co-running
+// workload for the contention model (Fig. 11 co-runs SPEC with SFM
+// antagonists). The numbers are behavioral profiles, not measurements
+// of the licensed SPEC binaries.
+type AntagonistProfile struct {
+	Name string
+	// BWDemandGBps is the workload's standalone memory bandwidth
+	// demand.
+	BWDemandGBps float64
+	// MemBoundShare is the fraction of runtime stalled on memory.
+	MemBoundShare float64
+	// LLCSensitivity is how strongly runtime reacts to last-level
+	// cache pollution (0..1).
+	LLCSensitivity float64
+}
+
+// SPECLikeProfiles returns eight memory- and LLC-sensitive workload
+// profiles in the spirit of the paper's SPEC job mixes (§8). Values
+// are representative of published SPEC CPU 2017 memory behavior.
+func SPECLikeProfiles() []AntagonistProfile {
+	return []AntagonistProfile{
+		{Name: "mcf-like", BWDemandGBps: 8.0, MemBoundShare: 0.55, LLCSensitivity: 0.80},
+		{Name: "lbm-like", BWDemandGBps: 12.0, MemBoundShare: 0.65, LLCSensitivity: 0.35},
+		{Name: "omnetpp-like", BWDemandGBps: 5.0, MemBoundShare: 0.45, LLCSensitivity: 0.75},
+		{Name: "gcc-like", BWDemandGBps: 3.5, MemBoundShare: 0.30, LLCSensitivity: 0.50},
+		{Name: "xalancbmk-like", BWDemandGBps: 4.5, MemBoundShare: 0.40, LLCSensitivity: 0.70},
+		{Name: "cactuBSSN-like", BWDemandGBps: 9.0, MemBoundShare: 0.50, LLCSensitivity: 0.30},
+		{Name: "fotonik3d-like", BWDemandGBps: 11.0, MemBoundShare: 0.60, LLCSensitivity: 0.25},
+		{Name: "roms-like", BWDemandGBps: 10.0, MemBoundShare: 0.55, LLCSensitivity: 0.30},
+	}
+}
+
+// ZipfAccess generates a Zipf-distributed page access sequence over n
+// pages with skew s > 1, the access-locality pattern of the web
+// front-end workload.
+type ZipfAccess struct {
+	z *rand.Zipf
+}
+
+// NewZipfAccess builds a generator over pages [0, n) with exponent s
+// (s must be > 1; larger = more skewed).
+func NewZipfAccess(seed int64, n int, s float64) *ZipfAccess {
+	if s <= 1 {
+		s = 1.01
+	}
+	r := rand.New(rand.NewSource(seed))
+	return &ZipfAccess{z: rand.NewZipf(r, s, 1, uint64(n-1))}
+}
+
+// Next returns the next page index.
+func (z *ZipfAccess) Next() int { return int(z.z.Uint64()) }
+
+// PromotionRateOfTrace computes the observed promotion rate from
+// promoted bytes over an interval: promotedBytes per minute divided
+// by far-memory bytes (§2.1's definition).
+func PromotionRateOfTrace(promotedBytes int64, farBytes int64, interval dram.Ps) float64 {
+	if farBytes == 0 || interval == 0 {
+		return 0
+	}
+	minutes := float64(interval) / float64(60*dram.Second)
+	return float64(promotedBytes) / minutes / float64(farBytes)
+}
+
+// ColdFraction implements the Google observation the paper cites
+// (§3.1): classifying pages cold after T seconds without access finds
+// a cold fraction that decays with T. The model fits the cited data
+// point (T = 120 s ⇒ ≈30% cold) with an exponential working-set
+// decay.
+func ColdFraction(coldAfterSec float64) float64 {
+	// exp(-t/τ) shaped idleness: fraction of pages idle ≥ t.
+	// Calibrated: ColdFraction(120) ≈ 0.30.
+	const tau = 100.0
+	return math.Exp(-coldAfterSec / tau)
+}

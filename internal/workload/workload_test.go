@@ -1,0 +1,314 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"xfm/internal/compress"
+	"xfm/internal/dram"
+	"xfm/internal/nma"
+	"xfm/internal/sfm"
+	"xfm/internal/trace"
+)
+
+func TestPromotionTrafficRates(t *testing.T) {
+	p := PromotionTraffic{
+		SFMCapacityGB: 512, PromotionRate: 1.0,
+		Ranks: 16, PageBytes: 4096, Groups: 8192, Seed: 1,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Footnote 1: 8.5 GB/s at 100% promotion.
+	if gbps := p.SwapGBps(); math.Abs(gbps-8.53) > 0.05 {
+		t.Errorf("SwapGBps = %.2f, want ≈8.5", gbps)
+	}
+	// 2 × 8.53e9/4096 / 16 ranks ≈ 260k ops/s per rank.
+	ops := p.PagesPerSecondPerRank()
+	if ops < 250e3 || ops > 272e3 {
+		t.Errorf("ops/s/rank = %.0f, want ≈260k", ops)
+	}
+}
+
+func TestPromotionTrafficValidate(t *testing.T) {
+	bad := PromotionTraffic{SFMCapacityGB: 0, Ranks: 1, PageBytes: 1, Groups: 1}
+	if bad.Validate() == nil {
+		t.Error("zero capacity accepted")
+	}
+	bad = PromotionTraffic{SFMCapacityGB: 1, PromotionRate: 2, Ranks: 1, PageBytes: 1, Groups: 1}
+	if bad.Validate() == nil {
+		t.Error("promotion 200% accepted")
+	}
+}
+
+func TestStreamArrivalsOrderedAndBounded(t *testing.T) {
+	p := PromotionTraffic{
+		SFMCapacityGB: 512, PromotionRate: 0.5,
+		Ranks: 16, PageBytes: 4096, Groups: 8192, Seed: 3,
+	}
+	dur := 10 * dram.Millisecond
+	next := p.Stream(dur)
+	var prev dram.Ps
+	n := 0
+	kinds := map[nma.OpKind]int{}
+	for {
+		req, ok := next()
+		if !ok {
+			break
+		}
+		if req.Arrive < prev {
+			t.Fatal("arrivals not ordered")
+		}
+		if req.Arrive > dur {
+			t.Fatal("arrival beyond duration")
+		}
+		if req.SrcGroup < 0 || req.SrcGroup >= 8192 {
+			t.Fatal("bad group")
+		}
+		prev = req.Arrive
+		kinds[req.Kind]++
+		n++
+	}
+	// Expected arrivals: rate × duration ≈ 130k/s × 0.01 s = 1300.
+	want := p.PagesPerSecondPerRank() * 0.01
+	if float64(n) < want*0.8 || float64(n) > want*1.2 {
+		t.Errorf("arrivals = %d, want ≈%.0f", n, want)
+	}
+	if kinds[nma.CompressOp] == 0 || kinds[nma.DecompressOp] == 0 {
+		t.Error("stream should mix compress and decompress ops")
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	p := PromotionTraffic{SFMCapacityGB: 64, PromotionRate: 0.2, Ranks: 4, PageBytes: 4096, Groups: 8192, Seed: 9}
+	collect := func() []nma.Request {
+		var out []nma.Request
+		next := p.Stream(dram.Millisecond)
+		for {
+			r, ok := next()
+			if !ok {
+				return out
+			}
+			out = append(out, r)
+		}
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestSPECLikeProfiles(t *testing.T) {
+	ps := SPECLikeProfiles()
+	if len(ps) != 8 {
+		t.Fatalf("profiles = %d, want 8 (the paper co-runs 8 SPEC workloads)", len(ps))
+	}
+	for _, p := range ps {
+		if p.BWDemandGBps <= 0 || p.MemBoundShare <= 0 || p.MemBoundShare > 1 ||
+			p.LLCSensitivity < 0 || p.LLCSensitivity > 1 {
+			t.Errorf("%s: implausible profile %+v", p.Name, p)
+		}
+	}
+}
+
+func TestZipfAccessSkew(t *testing.T) {
+	z := NewZipfAccess(1, 1000, 1.3)
+	counts := map[int]int{}
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	// Page 0 must be the hottest and the head must dominate.
+	head := 0
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+	}
+	if counts[0] < counts[500] {
+		t.Error("Zipf head not hotter than tail")
+	}
+	if float64(head)/100000 < 0.3 {
+		t.Errorf("top-10 pages got %.1f%% of accesses, want ≥ 30%%", float64(head)/1000)
+	}
+}
+
+func TestColdFractionMatchesGoogleObservation(t *testing.T) {
+	// §3.1: cold-after-120s detects over 30% of memory as cold.
+	got := ColdFraction(120)
+	if got < 0.28 || got > 0.35 {
+		t.Errorf("ColdFraction(120) = %.3f, want ≈0.30", got)
+	}
+	if ColdFraction(0) != 1 {
+		t.Error("ColdFraction(0) should be 1")
+	}
+	if ColdFraction(1000) > ColdFraction(10) {
+		t.Error("cold fraction should decay with threshold")
+	}
+}
+
+func TestPromotionRateOfTrace(t *testing.T) {
+	// 102.4 GB promoted in one minute over 512 GB far memory = 20%.
+	promoted := int64(102.4e9)
+	far := int64(512e9)
+	got := PromotionRateOfTrace(promoted, far, 60*dram.Second)
+	if math.Abs(got-0.20) > 0.001 {
+		t.Errorf("promotion rate = %.3f, want 0.20", got)
+	}
+	if PromotionRateOfTrace(1, 0, dram.Second) != 0 {
+		t.Error("zero far bytes should yield 0")
+	}
+}
+
+func TestWebFrontendProducesTrace(t *testing.T) {
+	w := DefaultWebFrontend()
+	w.Queries = 1500
+	backend := sfm.NewCPUBackend(compress.NewLZFast(), 0)
+	res, err := w.Run(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no swap events generated")
+	}
+	ops := map[trace.Op]int{}
+	var prev int64
+	for _, r := range res.Trace {
+		if r.AtPs < prev {
+			t.Fatal("trace not time-ordered")
+		}
+		prev = r.AtPs
+		ops[r.Op]++
+	}
+	if ops[trace.SwapOut] == 0 {
+		t.Error("no swap-outs in trace")
+	}
+	if ops[trace.SwapIn] == 0 {
+		t.Error("no demand swap-ins in trace")
+	}
+	if ops[trace.Prefetch] == 0 {
+		t.Error("no prefetches in trace (phase shifts should prefetch)")
+	}
+	if res.HeapStats.DemandFaults == 0 {
+		t.Error("workload generated no faults")
+	}
+	if res.BackendStats.SwapOuts == 0 {
+		t.Error("backend saw no swap-outs")
+	}
+	if res.PromotionRate <= 0 {
+		t.Error("promotion rate not computed")
+	}
+}
+
+func TestWebFrontendDeterministic(t *testing.T) {
+	w := DefaultWebFrontend()
+	w.Queries = 600
+	run := func() Result {
+		res, err := w.Run(sfm.NewCPUBackend(compress.NewLZFast(), 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a.Trace), len(b.Trace))
+	}
+	if a.HeapStats != b.HeapStats {
+		t.Errorf("heap stats differ: %+v vs %+v", a.HeapStats, b.HeapStats)
+	}
+}
+
+func TestWebFrontendRejectsBadConfig(t *testing.T) {
+	w := DefaultWebFrontend()
+	w.Pages = 0
+	if _, err := w.Run(sfm.NewCPUBackend(compress.NewLZFast(), 0)); err == nil {
+		t.Error("zero pages accepted")
+	}
+}
+
+func BenchmarkWebFrontend(b *testing.B) {
+	w := DefaultWebFrontend()
+	w.Queries = 500
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Run(sfm.NewCPUBackend(compress.NewLZFast(), 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestBurstinessValidation(t *testing.T) {
+	base := PromotionTraffic{SFMCapacityGB: 64, PromotionRate: 0.2, Ranks: 4, PageBytes: 4096, Groups: 8192}
+	bad := base
+	bad.Burstiness = 1.0
+	if bad.Validate() == nil {
+		t.Error("burstiness 1.0 accepted")
+	}
+	bad = base
+	bad.Burstiness = 0.5 // missing period
+	if bad.Validate() == nil {
+		t.Error("burstiness without period accepted")
+	}
+	ok := base
+	ok.Burstiness = 0.5
+	ok.BurstPeriod = dram.Millisecond
+	if err := ok.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBurstyStreamKeepsMeanRate(t *testing.T) {
+	count := func(burst float64) int {
+		p := PromotionTraffic{
+			SFMCapacityGB: 512, PromotionRate: 0.5,
+			Ranks: 16, PageBytes: 4096, Groups: 8192, Seed: 4,
+			Burstiness: burst, BurstPeriod: dram.Millisecond,
+		}
+		n := 0
+		next := p.Stream(100 * dram.Millisecond)
+		for {
+			if _, ok := next(); !ok {
+				return n
+			}
+			n++
+		}
+	}
+	smooth := count(0)
+	bursty := count(0.8)
+	ratio := float64(bursty) / float64(smooth)
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("bursty stream mean rate off: %d vs %d (ratio %.2f)", bursty, smooth, ratio)
+	}
+}
+
+func TestBurstinessIncreasesFallbacks(t *testing.T) {
+	// §3.2's "bursty swap ins and outs": at the same mean load near
+	// the service knee, burstier arrivals overflow the SPM/queue more.
+	run := func(burst float64) float64 {
+		cfg := nma.DefaultConfig(dram.Device32Gb)
+		cfg.SPMBytes = 1 << 20
+		cfg.AccessesPerTRFC = 2
+		cfg.QueueDepth = 2048
+		sim := nma.NewSim(cfg)
+		p := PromotionTraffic{
+			SFMCapacityGB: 512, PromotionRate: 1.0,
+			Ranks: 12, PageBytes: 4096, Groups: 8192, Seed: 7,
+			PagesPerGroup: 2, RestartProb: 1.0 / 256,
+			DstAheadGroups: 5000, TREFI: cfg.Timings.TREFI,
+			Burstiness: burst,
+		}
+		if burst > 0 {
+			p.BurstPeriod = 20 * dram.Millisecond
+		}
+		windows := 2 * 8192
+		sim.RunWindows(windows, p.Stream(dram.Ps(windows)*cfg.Timings.TREFI))
+		return sim.Stats().FallbackRate()
+	}
+	smooth := run(0)
+	bursty := run(0.9)
+	if bursty < smooth {
+		t.Errorf("bursty fallback rate %.4f below smooth %.4f", bursty, smooth)
+	}
+}

@@ -1,0 +1,237 @@
+package xfm
+
+import (
+	"fmt"
+
+	"xfm/internal/compress"
+	"xfm/internal/dram"
+	"xfm/internal/ecc"
+	"xfm/internal/memctrl"
+	"xfm/internal/nma"
+	"xfm/internal/sfm"
+)
+
+// Backend is the XFM_Backend of §6: an sfm.Backend whose swap paths
+// (xfm_swap_out / xfm_swap_in) offload (de)compression to the NMA.
+//
+// Like the paper's emulator (§7), the data path runs in software (the
+// inner CPU backend stores real compressed bytes) while the offload
+// accounting — request queues, SPM occupancy, refresh-window
+// scheduling, CPU fallbacks — runs through the Driver against the NMA
+// timing model. CPU cycles are charged only for operations that
+// actually fell back to the CPU.
+type Backend struct {
+	inner  *sfm.CPUBackend
+	driver *Driver
+	mapp   memctrl.Mapping
+
+	// Lazy SPM occupancy tracking (§6): the backend assumes every
+	// submitted offload still occupies the SPM until a completion-
+	// counter poll (an MMIO read) proves otherwise, so the common-case
+	// submission path touches no hardware registers.
+	completedSeen int64
+	spmSyncs      int64
+
+	nextReq   int64
+	offloads  int64
+	fallbacks int64
+	cpuCycles float64
+	codec     compress.Codec
+
+	// Side-band ECC (§4.1): the NMA regenerates the x72 parity bytes
+	// when writing data back so the host memory controller can keep
+	// performing SECDED on later reads. The backend keeps the parity
+	// of every stored page and verifies it on swap-in.
+	eccEnabled       bool
+	parity           map[sfm.PageID][]byte
+	parityBytes      int64
+	eccCorrected     int64
+	eccUncorrectable int64
+}
+
+// NewBackend builds an XFM backend. regionBytes limits the SFM region;
+// the driver must cover the rank holding the region. The mapping is
+// used to derive which refresh group each page's DRAM rows belong to.
+func NewBackend(codec compress.Codec, regionBytes int64, driver *Driver, m memctrl.Mapping) (*Backend, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := driver.Paramset(0, regionBytes); err != nil {
+		return nil, err
+	}
+	return &Backend{
+		inner:      sfm.NewCPUBackend(codec, regionBytes),
+		driver:     driver,
+		mapp:       m,
+		codec:      codec,
+		eccEnabled: true,
+		parity:     map[sfm.PageID][]byte{},
+	}, nil
+}
+
+// SetECC enables or disables side-band parity regeneration; it is on
+// by default (commodity servers run ECC DIMMs, §4.1).
+func (b *Backend) SetECC(on bool) { b.eccEnabled = on }
+
+// Driver returns the backend's driver.
+func (b *Backend) Driver() *Driver { return b.driver }
+
+// pageGroup derives the refresh group of the DRAM row(s) holding a
+// page-aligned address. All banks refresh the same row index during a
+// window and the page's two interleaved banks share one row (Fig. 6a),
+// so a page maps to a single group.
+func (b *Backend) pageGroup(addr int64) int {
+	addr %= b.mapp.TotalBytes()
+	if addr < 0 {
+		addr += b.mapp.TotalBytes()
+	}
+	co := b.mapp.Decompose(addr)
+	return b.mapp.Device.RowRefreshGroup(co.Row)
+}
+
+// localAddr places a page id in the local address space; the SFM
+// region lives beyond the application pages.
+func (b *Backend) localAddr(id sfm.PageID) int64 {
+	return int64(id) * sfm.PageSize
+}
+
+// regionAddr places an SFM region slot: region slots follow the
+// driver-configured base.
+func (b *Backend) regionAddr(id sfm.PageID) int64 {
+	base, size := b.driver.Region()
+	if size <= 0 {
+		size = sfm.PageSize
+	}
+	return base + (int64(id)*sfm.PageSize)%size
+}
+
+// SwapOut implements sfm.Backend: xfm_swap_out(). The cold page is
+// read from its local rows (source group) and its compressed form is
+// written into the SFM region (destination group). If the NMA rejects
+// the request the CPU performs the compression (CPU_Fallback).
+func (b *Backend) SwapOut(now dram.Ps, id sfm.PageID, data []byte) error {
+	if err := b.inner.SwapOut(now, id, data); err != nil {
+		return err
+	}
+	if b.eccEnabled {
+		// Regenerate the side-band parity for the page image the NMA
+		// writes back (§4.1: "the NMA calculates the parity bits and
+		// stores them in the ECC DRAM chips, when writing back").
+		b.parity[id] = ecc.PageParity(data)
+		b.parityBytes += int64(len(b.parity[id]))
+	}
+	b.driver.AdvanceTo(now)
+	b.nextReq++
+	req := nma.Request{
+		ID:       b.nextReq,
+		Kind:     nma.CompressOp,
+		SrcGroup: b.pageGroup(b.localAddr(id)),
+		DstGroup: b.pageGroup(b.regionAddr(id)),
+		Arrive:   now,
+	}
+	b.submitOrFallback(req, nma.CompressOp)
+	return nil
+}
+
+// SwapIn implements sfm.Backend: xfm_swap_in(). Demand faults
+// (offload=false) always run on the CPU — "CPU_Fallback is called by
+// default unless the do_offload parameter is asserted" (§6) — because
+// the NMA datapath adds at least 2×tREFI of latency (Fig. 10).
+// Prefetches (offload=true) go to the NMA.
+func (b *Backend) SwapIn(now dram.Ps, id sfm.PageID, dst []byte, offload bool) error {
+	if err := b.inner.SwapIn(now, id, dst, offload); err != nil {
+		return err
+	}
+	if b.eccEnabled {
+		if p, ok := b.parity[id]; ok {
+			corrected, bad := ecc.VerifyPage(dst, p)
+			b.eccCorrected += int64(corrected)
+			b.eccUncorrectable += int64(bad)
+			delete(b.parity, id)
+			if bad > 0 {
+				return fmt.Errorf("xfm: page %d has %d uncorrectable ECC words", id, bad)
+			}
+		}
+	}
+	b.driver.AdvanceTo(now)
+	if !offload {
+		b.fallbacks++
+		b.cpuCycles += b.codec.Info().DecompressCyclesPerByte * sfm.PageSize
+		return nil
+	}
+	b.nextReq++
+	req := nma.Request{
+		ID:       b.nextReq,
+		Kind:     nma.DecompressOp,
+		SrcGroup: b.pageGroup(b.regionAddr(id)),
+		DstGroup: b.pageGroup(b.localAddr(id)),
+		Arrive:   now,
+	}
+	b.submitOrFallback(req, nma.DecompressOp)
+	return nil
+}
+
+// submitOrFallback runs the §6 submission protocol: lazy occupancy
+// check, MMIO sync when the inferred SPM bound is exhausted, then an
+// MMIO write into the request queue; on rejection the CPU performs
+// the operation.
+func (b *Backend) submitOrFallback(req nma.Request, kind nma.OpKind) {
+	cfg := b.driver.Sim().Config()
+	// Upper bound: every submitted-but-unobserved offload may still
+	// hold a page in the SPM. When the bound says the SPM is full,
+	// poll the completion counter once to shrink it.
+	outstanding := b.offloads - b.completedSeen
+	if (outstanding+1)*int64(cfg.PageBytes) > int64(cfg.SPMBytes) {
+		b.completedSeen = b.driver.PollCompletions()
+		b.spmSyncs++
+	}
+	ok, err := b.driver.Submit(req)
+	if err != nil || !ok {
+		b.fallbacks++
+		var perByte float64
+		if kind == nma.CompressOp {
+			perByte = b.codec.Info().CompressCyclesPerByte
+		} else {
+			perByte = b.codec.Info().DecompressCyclesPerByte
+		}
+		b.cpuCycles += perByte * sfm.PageSize
+		return
+	}
+	b.offloads++
+}
+
+// Contains implements sfm.Backend.
+func (b *Backend) Contains(id sfm.PageID) bool { return b.inner.Contains(id) }
+
+// Compact implements sfm.Backend: xfm_compact() shifts compressed
+// pages with memcpys (§6).
+func (b *Backend) Compact() int64 { return b.inner.Compact() }
+
+// Stats implements sfm.Backend. CPU cycles reflect only fallback work;
+// offloaded operations cost no host cycles.
+func (b *Backend) Stats() sfm.BackendStats {
+	s := b.inner.Stats()
+	s.CPUCycles = b.cpuCycles
+	s.Offloads = b.offloads
+	s.Fallbacks = b.fallbacks
+	return s
+}
+
+// SPMSyncs returns how many MMIO occupancy resynchronizations the lazy
+// tracking needed.
+func (b *Backend) SPMSyncs() int64 { return b.spmSyncs }
+
+// ECCStats returns (parity bytes generated, words corrected, words
+// uncorrectable) for the side-band ECC path.
+func (b *Backend) ECCStats() (parityBytes, corrected, uncorrectable int64) {
+	return b.parityBytes, b.eccCorrected, b.eccUncorrectable
+}
+
+var _ sfm.Backend = (*Backend)(nil)
+
+// String describes the backend configuration.
+func (b *Backend) String() string {
+	cfg := b.driver.Sim().Config()
+	return fmt.Sprintf("xfm.Backend{codec=%s spm=%dKiB acc/tRFC=%d}",
+		b.codec.Name(), cfg.SPMBytes>>10, cfg.AccessesPerTRFC)
+}

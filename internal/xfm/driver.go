@@ -1,0 +1,112 @@
+// Package xfm is the core library of this reproduction: the XFM
+// driver (MMIO register interface to the near-memory accelerator), the
+// XFM backend (an sfm.Backend that offloads page compression and
+// decompression to the NMA during DRAM refresh windows, falling back
+// to the CPU under back-pressure), and the multi-channel data layout
+// (§6, Fig. 9).
+package xfm
+
+import (
+	"fmt"
+
+	"xfm/internal/dram"
+	"xfm/internal/nma"
+)
+
+// Driver models the XFM_Driver (§6): "primitives for interacting with
+// XFM hardware via MMIO operations to internal registers", exposing
+// the SP_Capacity_Register and the Compress_Request_Queue. In Linux
+// these are reached through ioctl() on a character device; here the
+// ioctl surface is the exported method set.
+type Driver struct {
+	sim *nma.Sim
+
+	regionBase  int64
+	regionBytes int64
+	paramSet    bool
+
+	mmioReads  int64
+	mmioWrites int64
+	ioctls     int64
+}
+
+// NewDriver builds a driver over one NMA rank simulator.
+func NewDriver(sim *nma.Sim) *Driver {
+	return &Driver{sim: sim}
+}
+
+// Paramset configures the SFM region's base offset and size in
+// physical memory via MMIO writes to internal configuration registers
+// (§6 "Initialization ... xfm_paramset()").
+func (d *Driver) Paramset(base, size int64) error {
+	if size <= 0 {
+		return fmt.Errorf("xfm: non-positive region size %d", size)
+	}
+	if base < 0 {
+		return fmt.Errorf("xfm: negative region base %d", base)
+	}
+	d.ioctls++
+	d.mmioWrites += 2
+	d.regionBase, d.regionBytes = base, size
+	d.paramSet = true
+	return nil
+}
+
+// Region returns the configured SFM region.
+func (d *Driver) Region() (base, size int64) { return d.regionBase, d.regionBytes }
+
+// SPCapacity reads the SP_Capacity_Register: the free bytes in the
+// ScratchPad Memory. The read is an MMIO round trip, so callers track
+// occupancy lazily and only sync when their inferred bound hits zero
+// (§6).
+func (d *Driver) SPCapacity() int {
+	d.mmioReads++
+	return d.sim.Config().SPMBytes - d.sim.SPMUsed()
+}
+
+// QueueFree reads the free depth of the Compress_Request_Queue.
+func (d *Driver) QueueFree() int {
+	d.mmioReads++
+	return d.sim.Config().QueueDepth - d.sim.QueueLen()
+}
+
+// PollCompletions reads the completion counter register: the total
+// number of offloads the NMA has finished. The backend uses the delta
+// against its own submission count to maintain its lazy upper bound on
+// SPM occupancy without per-operation synchronization (§6).
+func (d *Driver) PollCompletions() int64 {
+	d.mmioReads++
+	return d.sim.Stats().Completed
+}
+
+// Submit pushes one offload request into the Compress_Request_Queue
+// with an MMIO write. It returns false when the hardware rejected the
+// request and the caller must run the operation on the CPU.
+func (d *Driver) Submit(req nma.Request) (bool, error) {
+	if !d.paramSet {
+		return false, fmt.Errorf("xfm: driver not initialized with Paramset")
+	}
+	d.mmioWrites++
+	return d.sim.Submit(req), nil
+}
+
+// AdvanceTo steps the NMA's refresh windows until the window clock
+// passes now; the emulator harness calls this as simulated time
+// advances.
+func (d *Driver) AdvanceTo(now dram.Ps) {
+	for d.sim.Now() <= now {
+		d.sim.StepWindow()
+	}
+}
+
+// NMAStats returns the underlying accelerator statistics.
+func (d *Driver) NMAStats() nma.Stats { return d.sim.Stats() }
+
+// MMIOStats returns (reads, writes, ioctls) counts, the cost of the
+// control path.
+func (d *Driver) MMIOStats() (reads, writes, ioctls int64) {
+	return d.mmioReads, d.mmioWrites, d.ioctls
+}
+
+// Sim exposes the NMA simulator (experiments inspect it directly).
+func (d *Driver) Sim() *nma.Sim { return d.sim }

@@ -1,0 +1,232 @@
+package xfm
+
+import (
+	"fmt"
+
+	"xfm/internal/compress"
+	"xfm/internal/dram"
+	"xfm/internal/memctrl"
+	"xfm/internal/nma"
+	"xfm/internal/sfm"
+)
+
+// GroupBackend is XFM operating in multi-channel mode (§6, Fig. 9): a
+// logically contiguous page is physically interleaved across several
+// XFM DIMMs; each DIMM's NMA compresses only the chunks it holds
+// (with a correspondingly smaller window), and every DIMM places its
+// piece at the *same offset* within its SFM region, so the host
+// addresses a compressed page with a single offset. The price is
+// internal fragmentation: each DIMM reserves the size of the largest
+// piece.
+type GroupBackend struct {
+	layout  MultiChannelLayout
+	drivers []*Driver
+	mapp    memctrl.Mapping
+
+	newCodec func(window int) compress.Codec
+	codec    compress.Codec // window-limited instance used per part
+
+	// Same-offset slot store: id → per-DIMM compressed parts.
+	slots map[sfm.PageID]CompressedLayout
+	// perDIMMRegion limits each DIMM's reserved bytes.
+	perDIMMRegion int64
+	reservedBytes int64 // per DIMM (identical across DIMMs by design)
+
+	nextReq   int64
+	offloads  int64
+	fallbacks int64
+	cpuCycles float64
+
+	stats groupStats
+}
+
+type groupStats struct {
+	swapOuts, swapIns int64
+	storedBytes       int64 // actual compressed payload across DIMMs
+	fragBytes         int64 // same-offset fragmentation across DIMMs
+	storedPages       int64
+}
+
+// NewGroupBackend builds a multi-channel backend over the given
+// drivers (one per DIMM). newCodec builds a window-limited codec for
+// the per-DIMM share of the page. perDIMMRegion limits each DIMM's
+// SFM region.
+func NewGroupBackend(newCodec func(window int) compress.Codec, perDIMMRegion int64,
+	drivers []*Driver, m memctrl.Mapping) (*GroupBackend, error) {
+	if len(drivers) == 0 {
+		return nil, fmt.Errorf("xfm: group needs at least one driver")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	layout := DefaultLayout(len(drivers))
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	for _, d := range drivers {
+		if err := d.Paramset(0, perDIMMRegion); err != nil {
+			return nil, err
+		}
+	}
+	return &GroupBackend{
+		layout:        layout,
+		drivers:       drivers,
+		mapp:          m,
+		newCodec:      newCodec,
+		codec:         newCodec(layout.WindowBytes(sfm.PageSize)),
+		slots:         map[sfm.PageID]CompressedLayout{},
+		perDIMMRegion: perDIMMRegion,
+	}, nil
+}
+
+// DIMMs returns the number of memory modules in the group.
+func (g *GroupBackend) DIMMs() int { return g.layout.DIMMs }
+
+// pageGroupOf maps an address to its refresh group (as Backend does).
+func (g *GroupBackend) pageGroupOf(addr int64) int {
+	addr %= g.mapp.TotalBytes()
+	if addr < 0 {
+		addr += g.mapp.TotalBytes()
+	}
+	co := g.mapp.Decompose(addr)
+	return g.mapp.Device.RowRefreshGroup(co.Row)
+}
+
+// SwapOut implements sfm.Backend: the page is split at the channel
+// interleave granularity; each DIMM's share is compressed with the
+// reduced window and placed at the same offset on every DIMM.
+func (g *GroupBackend) SwapOut(now dram.Ps, id sfm.PageID, data []byte) error {
+	if len(data) != sfm.PageSize {
+		return fmt.Errorf("xfm: page %d has %d bytes, want %d", id, len(data), sfm.PageSize)
+	}
+	if _, dup := g.slots[id]; dup {
+		return sfm.ErrExists
+	}
+	cl := g.layout.CompressPage(data, g.newCodec)
+	if g.reservedBytes+int64(cl.SlotBytes) > g.perDIMMRegion {
+		return sfm.ErrFull
+	}
+	g.slots[id] = cl
+	g.reservedBytes += int64(cl.SlotBytes)
+	g.stats.swapOuts++
+	g.stats.storedPages++
+	g.stats.storedBytes += int64(cl.TotalStored())
+	g.stats.fragBytes += int64(cl.FragmentationBytes())
+
+	// One offload request per DIMM: each NMA reads its own chunks of
+	// the cold page during its refresh windows.
+	srcGroup := g.pageGroupOf(int64(id) * sfm.PageSize)
+	dstGroup := g.pageGroupOf(g.perDIMMRegion + (int64(id)*sfm.PageSize)%g.perDIMMRegion)
+	allOK := true
+	for _, d := range g.drivers {
+		d.AdvanceTo(now)
+		g.nextReq++
+		ok, err := d.Submit(nma.Request{
+			ID: g.nextReq, Kind: nma.CompressOp,
+			SrcGroup: srcGroup, DstGroup: dstGroup, Arrive: now,
+		})
+		if err != nil || !ok {
+			allOK = false
+		}
+	}
+	if allOK {
+		g.offloads++
+	} else {
+		// CPU_Fallback compresses the whole page on the host with the
+		// scatter-aware function (Fig. 9b).
+		g.fallbacks++
+		g.cpuCycles += g.codec.Info().CompressCyclesPerByte * sfm.PageSize
+	}
+	return nil
+}
+
+// SwapIn implements sfm.Backend: parts are fetched from every DIMM,
+// decompressed, and gathered back into host-logical order. The
+// specialized CPU fallback "handles both decompression and gathering
+// operations without additional memory copies" (§6).
+func (g *GroupBackend) SwapIn(now dram.Ps, id sfm.PageID, dst []byte, offload bool) error {
+	if len(dst) != sfm.PageSize {
+		return fmt.Errorf("xfm: dst has %d bytes, want %d", len(dst), sfm.PageSize)
+	}
+	cl, ok := g.slots[id]
+	if !ok {
+		return sfm.ErrNotFound
+	}
+	page, err := g.layout.DecompressPage(cl, g.newCodec, sfm.PageSize)
+	if err != nil {
+		return err
+	}
+	copy(dst, page)
+	delete(g.slots, id)
+	g.reservedBytes -= int64(cl.SlotBytes)
+	g.stats.swapIns++
+	g.stats.storedPages--
+	g.stats.storedBytes -= int64(cl.TotalStored())
+	g.stats.fragBytes -= int64(cl.FragmentationBytes())
+
+	srcGroup := g.pageGroupOf(g.perDIMMRegion + (int64(id)*sfm.PageSize)%g.perDIMMRegion)
+	dstGroup := g.pageGroupOf(int64(id) * sfm.PageSize)
+	if !offload {
+		g.fallbacks++
+		g.cpuCycles += g.codec.Info().DecompressCyclesPerByte * sfm.PageSize
+		for _, d := range g.drivers {
+			d.AdvanceTo(now)
+		}
+		return nil
+	}
+	allOK := true
+	for _, d := range g.drivers {
+		d.AdvanceTo(now)
+		g.nextReq++
+		ok, err := d.Submit(nma.Request{
+			ID: g.nextReq, Kind: nma.DecompressOp,
+			SrcGroup: srcGroup, DstGroup: dstGroup, Arrive: now,
+		})
+		if err != nil || !ok {
+			allOK = false
+		}
+	}
+	if allOK {
+		g.offloads++
+	} else {
+		g.fallbacks++
+		g.cpuCycles += g.codec.Info().DecompressCyclesPerByte * sfm.PageSize
+	}
+	return nil
+}
+
+// Contains implements sfm.Backend.
+func (g *GroupBackend) Contains(id sfm.PageID) bool {
+	_, ok := g.slots[id]
+	return ok
+}
+
+// Compact implements sfm.Backend. The same-offset layout compacts by
+// re-packing slots; the model reports zero movement because slot
+// reservations are already dense in this in-memory representation.
+func (g *GroupBackend) Compact() int64 { return 0 }
+
+// Stats implements sfm.Backend.
+func (g *GroupBackend) Stats() sfm.BackendStats {
+	return sfm.BackendStats{
+		SwapOuts:        g.stats.swapOuts,
+		SwapIns:         g.stats.swapIns,
+		BytesOut:        g.stats.swapOuts * sfm.PageSize,
+		BytesIn:         g.stats.swapIns * sfm.PageSize,
+		CompressedBytes: g.stats.storedBytes,
+		StoredPages:     g.stats.storedPages,
+		CPUCycles:       g.cpuCycles,
+		Offloads:        g.offloads,
+		Fallbacks:       g.fallbacks,
+	}
+}
+
+// FragmentationBytes returns the current internal fragmentation the
+// same-offset placement costs across all DIMMs (§6: "this comes at
+// the cost of some internal fragmentation").
+func (g *GroupBackend) FragmentationBytes() int64 { return g.stats.fragBytes }
+
+// ReservedBytesPerDIMM returns the per-DIMM region consumption.
+func (g *GroupBackend) ReservedBytesPerDIMM() int64 { return g.reservedBytes }
+
+var _ sfm.Backend = (*GroupBackend)(nil)

@@ -1,0 +1,193 @@
+package xfm
+
+import (
+	"bytes"
+	"testing"
+
+	"xfm/internal/compress"
+	"xfm/internal/corpus"
+	"xfm/internal/dram"
+	"xfm/internal/memctrl"
+	"xfm/internal/nma"
+	"xfm/internal/sfm"
+)
+
+func newGroup(t *testing.T, dimms int) *GroupBackend {
+	t.Helper()
+	drivers := make([]*Driver, dimms)
+	for i := range drivers {
+		drivers[i] = NewDriver(nma.NewSim(nma.DefaultConfig(dram.Device32Gb)))
+	}
+	g, err := NewGroupBackend(
+		func(w int) compress.Codec { return compress.NewXDeflateWindow(w) },
+		1<<28, drivers, memctrl.SkylakeMapping(4, 2, dram.Device32Gb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGroupRoundTrip(t *testing.T) {
+	for _, dimms := range []int{1, 2, 4} {
+		g := newGroup(t, dimms)
+		in := corpus.JSONLog(7, sfm.PageSize)
+		if err := g.SwapOut(0, 1, in); err != nil {
+			t.Fatalf("%d DIMMs: %v", dimms, err)
+		}
+		if !g.Contains(1) {
+			t.Fatalf("%d DIMMs: page missing", dimms)
+		}
+		dst := make([]byte, sfm.PageSize)
+		if err := g.SwapIn(dram.Millisecond, 1, dst, false); err != nil {
+			t.Fatalf("%d DIMMs: %v", dimms, err)
+		}
+		if !bytes.Equal(dst, in) {
+			t.Fatalf("%d DIMMs: content corrupted", dimms)
+		}
+		if g.Contains(1) {
+			t.Fatalf("%d DIMMs: page still stored", dimms)
+		}
+	}
+}
+
+func TestGroupErrors(t *testing.T) {
+	g := newGroup(t, 2)
+	if err := g.SwapOut(0, 1, []byte("short")); err == nil {
+		t.Error("short page accepted")
+	}
+	in := corpus.KeyValue(1, sfm.PageSize)
+	if err := g.SwapOut(0, 1, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SwapOut(0, 1, in); err != sfm.ErrExists {
+		t.Errorf("duplicate: err = %v", err)
+	}
+	dst := make([]byte, sfm.PageSize)
+	if err := g.SwapIn(0, 42, dst, false); err != sfm.ErrNotFound {
+		t.Errorf("missing: err = %v", err)
+	}
+	if err := g.SwapIn(0, 1, make([]byte, 3), false); err == nil {
+		t.Error("short dst accepted")
+	}
+}
+
+func TestGroupFragmentationTracked(t *testing.T) {
+	g := newGroup(t, 4)
+	// Pages whose parts compress unevenly produce fragmentation.
+	for i := 0; i < 8; i++ {
+		in := corpus.HTML(int64(i), sfm.PageSize)
+		if err := g.SwapOut(0, sfm.PageID(i+1), in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.FragmentationBytes() <= 0 {
+		t.Error("no fragmentation recorded for uneven parts on 4 DIMMs")
+	}
+	if g.ReservedBytesPerDIMM() <= 0 {
+		t.Error("no reservation recorded")
+	}
+	// Reserved × DIMMs = stored + fragmentation.
+	st := g.Stats()
+	if g.ReservedBytesPerDIMM()*int64(g.DIMMs()) != st.CompressedBytes+g.FragmentationBytes() {
+		t.Errorf("reservation accounting inconsistent: %d×%d vs %d+%d",
+			g.ReservedBytesPerDIMM(), g.DIMMs(), st.CompressedBytes, g.FragmentationBytes())
+	}
+	// Draining restores zero.
+	dst := make([]byte, sfm.PageSize)
+	for i := 0; i < 8; i++ {
+		if err := g.SwapIn(0, sfm.PageID(i+1), dst, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.FragmentationBytes() != 0 || g.ReservedBytesPerDIMM() != 0 {
+		t.Error("accounting not restored after draining")
+	}
+}
+
+func TestGroupRegionCapacity(t *testing.T) {
+	drivers := []*Driver{NewDriver(nma.NewSim(nma.DefaultConfig(dram.Device32Gb)))}
+	g, err := NewGroupBackend(
+		func(w int) compress.Codec { return compress.NewLZFastWindow(w) },
+		8<<10, drivers, memctrl.SkylakeMapping(4, 2, dram.Device32Gb)) // 8 KiB region
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := 0
+	for i := 0; i < 20; i++ {
+		in := corpus.Random(int64(i), sfm.PageSize) // stores ≈ raw
+		if err := g.SwapOut(0, sfm.PageID(i+1), in); err == sfm.ErrFull {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Error("tiny region never reported full")
+	}
+}
+
+func TestGroupOffloadsToAllDIMMs(t *testing.T) {
+	g := newGroup(t, 4)
+	for i := 0; i < 5; i++ {
+		if err := g.SwapOut(dram.Ps(i)*dram.Microsecond, sfm.PageID(i+1), corpus.Syslog(int64(i), sfm.PageSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.Stats()
+	if st.Offloads != 5 {
+		t.Errorf("offloads = %d, want 5", st.Offloads)
+	}
+	// Each DIMM's NMA received one request per page.
+	for i, d := range g.drivers {
+		if got := d.Sim().Stats().Submitted; got != 5 {
+			t.Errorf("DIMM %d received %d requests, want 5", i, got)
+		}
+	}
+	if st.CPUCycles != 0 {
+		t.Error("offloaded group work charged CPU cycles")
+	}
+}
+
+func TestGroupDemandSwapInChargesCPU(t *testing.T) {
+	g := newGroup(t, 2)
+	g.SwapOut(0, 1, corpus.CSVTable(3, sfm.PageSize))
+	dst := make([]byte, sfm.PageSize)
+	if err := g.SwapIn(dram.Millisecond, 1, dst, false); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().CPUCycles <= 0 {
+		t.Error("demand swap-in charged no CPU cycles")
+	}
+}
+
+func TestGroupNeedsDrivers(t *testing.T) {
+	_, err := NewGroupBackend(
+		func(w int) compress.Codec { return compress.NewLZFastWindow(w) },
+		1<<20, nil, memctrl.SkylakeMapping(4, 2, dram.Device32Gb))
+	if err == nil {
+		t.Error("empty driver list accepted")
+	}
+}
+
+func TestGroupHeapIntegration(t *testing.T) {
+	g := newGroup(t, 4)
+	heap := sfm.NewHeap(g)
+	var ids []sfm.PageID
+	for i := 0; i < 16; i++ {
+		ids = append(ids, heap.Alloc(0, corpus.SQLDump(int64(i), sfm.PageSize)))
+	}
+	now := dram.Ps(0)
+	for _, id := range ids {
+		now += 10 * dram.Microsecond
+		if err := heap.SwapOut(now, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		now += 10 * dram.Microsecond
+		if _, err := heap.Touch(now, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if heap.Stats().DemandFaults != 16 {
+		t.Errorf("faults = %d, want 16", heap.Stats().DemandFaults)
+	}
+}

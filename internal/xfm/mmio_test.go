@@ -1,0 +1,126 @@
+package xfm
+
+import (
+	"testing"
+
+	"xfm/internal/dram"
+	"xfm/internal/nma"
+)
+
+func newRegs() *RegisterFile {
+	return NewRegisterFile(nma.NewSim(nma.DefaultConfig(dram.Device32Gb)))
+}
+
+func TestRegisterDefaults(t *testing.T) {
+	r := newRegs()
+	if v, err := r.Read(RegSPCapacity); err != nil || v != 2<<20 {
+		t.Errorf("SP capacity = %d, %v; want 2 MiB", v, err)
+	}
+	if v, err := r.Read(RegQueueFree); err != nil || v != 4096 {
+		t.Errorf("queue free = %d, %v", v, err)
+	}
+	if v, err := r.Read(RegCompleted); err != nil || v != 0 {
+		t.Errorf("completed = %d, %v", v, err)
+	}
+}
+
+func TestRegisterSubmitFlow(t *testing.T) {
+	r := newRegs()
+	// Doorbell before paramset must fail.
+	if err := r.Write(RegDoorbell, 1); err == nil {
+		t.Error("doorbell before configuration accepted")
+	}
+	// xfm_paramset: configure the region.
+	if err := r.Write(RegRegionBase, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write(RegRegionSize, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	// Stage and ring a compress request.
+	r.Write(RegSubmitKind, 0)
+	r.Write(RegSubmitSrcGrp, 10)
+	r.Write(RegSubmitDstGrp, 20)
+	r.Write(RegSubmitArrive, 0)
+	if err := r.Write(RegDoorbell, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.Read(RegSubmitStatus); v != 1 {
+		t.Error("accepted submit not reflected in status register")
+	}
+	if free, _ := r.Read(RegQueueFree); free != 4095 {
+		t.Errorf("queue free = %d after one submit", free)
+	}
+}
+
+func TestRegisterFlexibleDestination(t *testing.T) {
+	r := newRegs()
+	r.Write(RegRegionSize, 1<<20)
+	r.Write(RegSubmitKind, 1) // decompress
+	r.Write(RegSubmitSrcGrp, 0)
+	r.Write(RegSubmitDstGrp, ^uint64(0)) // flexible
+	if err := r.Write(RegDoorbell, 1); err != nil {
+		t.Fatal(err)
+	}
+	// One window serves the read (group 0), the next the flexible
+	// write.
+	sim := rfSim(r)
+	sim.StepWindow()
+	sim.StepWindow()
+	if got, _ := r.Read(RegCompleted); got != 1 {
+		t.Errorf("completed = %d, want 1", got)
+	}
+}
+
+// rfSim digs the simulator out for test stepping.
+func rfSim(r *RegisterFile) *nma.Sim { return r.sim }
+
+func TestRegisterInvalidAccesses(t *testing.T) {
+	r := newRegs()
+	if _, err := r.Read(0x100); err == nil {
+		t.Error("read of invalid offset accepted")
+	}
+	if err := r.Write(0x100, 0); err == nil {
+		t.Error("write of invalid offset accepted")
+	}
+	if err := r.Write(RegDoorbell, 2); err == nil {
+		t.Error("bad doorbell value accepted")
+	}
+	r.Write(RegRegionSize, 1<<20)
+	r.Write(RegSubmitKind, 7)
+	if err := r.Write(RegDoorbell, 1); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	// RO registers reject writes.
+	if err := r.Write(RegSPCapacity, 1); err == nil {
+		t.Error("write to RO register accepted")
+	}
+}
+
+func TestRegisterAccessCounts(t *testing.T) {
+	r := newRegs()
+	r.Read(RegSPCapacity)
+	r.Write(RegRegionSize, 4096)
+	reads, writes := r.AccessCounts()
+	if reads != 1 || writes != 1 {
+		t.Errorf("counts = %d/%d, want 1/1", reads, writes)
+	}
+	if r.Size() <= RegSubmitStatus {
+		t.Error("BAR size too small")
+	}
+}
+
+func TestRegisterRejectionStatus(t *testing.T) {
+	cfg := nma.DefaultConfig(dram.Device32Gb)
+	cfg.QueueDepth = 1
+	r := NewRegisterFile(nma.NewSim(cfg))
+	r.Write(RegRegionSize, 1<<20)
+	r.Write(RegSubmitKind, 0)
+	r.Write(RegSubmitSrcGrp, 5)
+	r.Write(RegSubmitDstGrp, 6)
+	r.Write(RegDoorbell, 1)
+	r.Write(RegDoorbell, 1) // queue (depth 1) now full
+	if v, _ := r.Read(RegSubmitStatus); v != 0 {
+		t.Error("rejected submit reported as accepted")
+	}
+}

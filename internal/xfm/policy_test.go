@@ -1,0 +1,78 @@
+package xfm
+
+import "testing"
+
+func testPolicy() OffloadPolicy {
+	return OffloadPolicy{
+		NMADecompressLatencyPs: 8_000_000, // ≥ 2×tREFI
+		CPUDecompressLatencyPs: 20_000,
+		PageBytes:              4096,
+		CompressedBytes:        2048,
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := testPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testPolicy()
+	bad.CompressedBytes = 5000
+	if bad.Validate() == nil {
+		t.Error("compressed > page accepted")
+	}
+	bad = testPolicy()
+	bad.NMADecompressLatencyPs = 0
+	if bad.Validate() == nil {
+		t.Error("zero latency accepted")
+	}
+}
+
+func TestIOAmplificationShape(t *testing.T) {
+	p := testPolicy()
+	// Using the whole page with no eviction: amplification is the
+	// compressed share (< 1): the CPU path is efficient.
+	if a := p.IOAmplification(4096, 0); a >= 1 {
+		t.Errorf("full use, cached: amplification %.2f, want < 1", a)
+	}
+	// Using 64 bytes of the page: heavy amplification.
+	if a := p.IOAmplification(64, 0); a <= 1 {
+		t.Errorf("sparse use: amplification %.2f, want > 1", a)
+	}
+	// LLC contention (page evicted before use) raises amplification
+	// even for full use (§3.2: "if there is contention on the LLC or
+	// the use-distance ... is long, the I/O amplification ratio
+	// increases").
+	if a := p.IOAmplification(4096, 1); a <= 1 {
+		t.Errorf("evicted before use: amplification %.2f, want > 1", a)
+	}
+	if p.IOAmplification(4096, 1) <= p.IOAmplification(4096, 0) {
+		t.Error("eviction did not raise amplification")
+	}
+}
+
+func TestShouldOffloadLatencyCriticalPath(t *testing.T) {
+	p := testPolicy()
+	// Demand fault (latency-critical): the slow NMA must not be used
+	// even when amplification favors it — matches §6's CPU_Fallback
+	// default on swap-in.
+	if p.ShouldOffload(64, 1, true) {
+		t.Error("latency-critical access offloaded to a slower NMA")
+	}
+	// Prefetch (not latency-critical): offload when traffic is saved.
+	if !p.ShouldOffload(64, 1, false) {
+		t.Error("prefetch with high amplification not offloaded")
+	}
+	// Prefetch of a page that will be fully used from cache: CPU path
+	// moves fewer bytes (compressed only), keep it.
+	if p.ShouldOffload(4096, 0, false) {
+		t.Error("offloaded despite amplification below 1")
+	}
+}
+
+func TestShouldOffloadFastNMA(t *testing.T) {
+	p := testPolicy()
+	p.NMADecompressLatencyPs = 10_000 // faster than CPU
+	if !p.ShouldOffload(64, 1, true) {
+		t.Error("fast NMA not used on latency-critical path with savings")
+	}
+}

@@ -1,0 +1,397 @@
+// Package zsmalloc implements a size-class slab allocator for
+// compressed pages, modeled on the Linux zsmalloc allocator that
+// production SFMs use (§2.1 of the paper): it packs as many compressed
+// objects as possible into 4 KiB encapsulating pages, at the cost of
+// intermittent compaction to resolve the internal fragmentation left
+// by pages promoted out of the SFM (§6, "SFM Compaction").
+package zsmalloc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// PageSize is the encapsulating page size.
+const PageSize = 4096
+
+// classGranularity is the spacing between size classes in bytes.
+const classGranularity = 64
+
+// Handle identifies a stored object. Handles are stable across
+// compaction.
+type Handle int64
+
+// Errors returned by the allocator.
+var (
+	ErrTooLarge      = errors.New("zsmalloc: object larger than a page")
+	ErrInvalidHandle = errors.New("zsmalloc: invalid handle")
+	ErrCapacity      = errors.New("zsmalloc: region capacity exhausted")
+)
+
+// Stats summarizes allocator state.
+type Stats struct {
+	Objects        int
+	StoredBytes    int64 // sum of object sizes
+	PageBytes      int64 // bytes of encapsulating pages held
+	Allocs, Frees  int64
+	Compactions    int64
+	CompactedBytes int64 // bytes memcpy'd by compaction
+}
+
+// Utilization returns StoredBytes / PageBytes, the packing efficiency.
+func (s Stats) Utilization() float64 {
+	if s.PageBytes == 0 {
+		return 0
+	}
+	return float64(s.StoredBytes) / float64(s.PageBytes)
+}
+
+type slot struct {
+	page   *zpage
+	index  int
+	length int
+}
+
+type zpage struct {
+	class   *sizeClass
+	data    []byte
+	handles []Handle // handle occupying each slot; 0 = free
+	free    int
+	inFree  bool // member of the class's free-page list
+	freeIdx int  // index within the class's free-page list
+}
+
+func (p *zpage) slotBytes(i, length int) []byte {
+	off := i * p.class.size
+	return p.data[off : off+length]
+}
+
+type sizeClass struct {
+	size  int
+	slots int // objects per encapsulating page
+	pages []*zpage
+	// freePages lists pages with at least one free slot, so Alloc
+	// finds a slot in O(1) instead of scanning the class.
+	freePages []*zpage
+}
+
+// noteFree ensures p is on the free-page list.
+func (c *sizeClass) noteFree(p *zpage) {
+	if !p.inFree && p.free > 0 {
+		p.inFree = true
+		p.freeIdx = len(c.freePages)
+		c.freePages = append(c.freePages, p)
+	}
+}
+
+// dropFree removes p from the free-page list in O(1) (swap-remove).
+func (c *sizeClass) dropFree(p *zpage) {
+	if !p.inFree {
+		return
+	}
+	p.inFree = false
+	last := len(c.freePages) - 1
+	moved := c.freePages[last]
+	c.freePages[p.freeIdx] = moved
+	moved.freeIdx = p.freeIdx
+	c.freePages = c.freePages[:last]
+}
+
+// Allocator packs variable-size compressed objects into fixed-size
+// encapsulating pages. The zero value is not usable; call New.
+type Allocator struct {
+	maxPages int // capacity limit in encapsulating pages; 0 = unlimited
+	classes  []*sizeClass
+	objects  map[Handle]*slot
+	next     Handle
+	stats    Stats
+}
+
+// New returns an allocator limited to maxBytes of encapsulating pages
+// (rounded down to whole pages); maxBytes ≤ 0 means unlimited. This
+// limit is the SFM region capacity.
+func New(maxBytes int64) *Allocator {
+	a := &Allocator{objects: map[Handle]*slot{}, next: 1}
+	if maxBytes > 0 {
+		a.maxPages = int(maxBytes / PageSize)
+	}
+	for size := classGranularity; size <= PageSize; size += classGranularity {
+		a.classes = append(a.classes, &sizeClass{size: size, slots: PageSize / size})
+	}
+	return a
+}
+
+// classFor returns the smallest size class that fits n bytes.
+func (a *Allocator) classFor(n int) *sizeClass {
+	idx := (n + classGranularity - 1) / classGranularity
+	if idx == 0 {
+		idx = 1
+	}
+	return a.classes[idx-1]
+}
+
+// pagesHeld returns the current number of encapsulating pages.
+func (a *Allocator) pagesHeld() int {
+	n := 0
+	for _, c := range a.classes {
+		n += len(c.pages)
+	}
+	return n
+}
+
+// Alloc stores a copy of data and returns its handle. It fails with
+// ErrCapacity when a new encapsulating page would exceed the region
+// limit and no free slot exists, and with ErrTooLarge for objects over
+// PageSize.
+func (a *Allocator) Alloc(data []byte) (Handle, error) {
+	if len(data) > PageSize {
+		return 0, ErrTooLarge
+	}
+	if len(data) == 0 {
+		return 0, errors.New("zsmalloc: empty object")
+	}
+	c := a.classFor(len(data))
+	// Take any page with a free slot from the class's free list.
+	var page *zpage
+	if n := len(c.freePages); n > 0 {
+		page = c.freePages[n-1]
+	}
+	if page == nil {
+		if a.maxPages > 0 && a.pagesHeld() >= a.maxPages {
+			return 0, ErrCapacity
+		}
+		page = &zpage{
+			class:   c,
+			data:    make([]byte, PageSize),
+			handles: make([]Handle, c.slots),
+			free:    c.slots,
+		}
+		c.pages = append(c.pages, page)
+		c.noteFree(page)
+		a.stats.PageBytes += PageSize
+	}
+	idx := -1
+	for i, h := range page.handles {
+		if h == 0 {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic("zsmalloc: page with free count but no free slot")
+	}
+	h := a.next
+	a.next++
+	copy(page.slotBytes(idx, len(data)), data)
+	page.handles[idx] = h
+	page.free--
+	if page.free == 0 {
+		page.class.dropFree(page)
+	}
+	a.objects[h] = &slot{page: page, index: idx, length: len(data)}
+	a.stats.Objects++
+	a.stats.StoredBytes += int64(len(data))
+	a.stats.Allocs++
+	return h, nil
+}
+
+// Get appends the object's bytes to dst and returns the extended
+// slice.
+func (a *Allocator) Get(dst []byte, h Handle) ([]byte, error) {
+	s, ok := a.objects[h]
+	if !ok {
+		return dst, ErrInvalidHandle
+	}
+	return append(dst, s.page.slotBytes(s.index, s.length)...), nil
+}
+
+// Size returns the stored size of the object.
+func (a *Allocator) Size(h Handle) (int, error) {
+	s, ok := a.objects[h]
+	if !ok {
+		return 0, ErrInvalidHandle
+	}
+	return s.length, nil
+}
+
+// Free releases the object's slot. Empty encapsulating pages are
+// returned to the system immediately.
+func (a *Allocator) Free(h Handle) error {
+	s, ok := a.objects[h]
+	if !ok {
+		return ErrInvalidHandle
+	}
+	delete(a.objects, h)
+	s.page.handles[s.index] = 0
+	s.page.free++
+	s.page.class.noteFree(s.page)
+	a.stats.Objects--
+	a.stats.StoredBytes -= int64(s.length)
+	a.stats.Frees++
+	if s.page.free == s.page.class.slots {
+		a.releasePage(s.page)
+	}
+	return nil
+}
+
+func (a *Allocator) releasePage(p *zpage) {
+	c := p.class
+	c.dropFree(p)
+	for i, q := range c.pages {
+		if q == p {
+			c.pages = append(c.pages[:i], c.pages[i+1:]...)
+			a.stats.PageBytes -= PageSize
+			return
+		}
+	}
+}
+
+// Compact defragments every size class by migrating objects out of
+// sparsely used pages into denser ones, releasing emptied pages. It
+// returns the number of bytes moved (the memcpy cost the paper's
+// xfm_compact() interface exposes, §6).
+func (a *Allocator) Compact() int64 {
+	var moved int64
+	for _, c := range a.classes {
+		moved += a.compactClass(c)
+	}
+	a.stats.Compactions++
+	a.stats.CompactedBytes += moved
+	return moved
+}
+
+func (a *Allocator) compactClass(c *sizeClass) int64 {
+	if len(c.pages) < 2 {
+		return 0
+	}
+	// Densest pages first as migration targets; sparsest last as
+	// sources.
+	sort.Slice(c.pages, func(i, j int) bool { return c.pages[i].free < c.pages[j].free })
+	var moved int64
+	lo, hi := 0, len(c.pages)-1
+	for lo < hi {
+		dst, src := c.pages[lo], c.pages[hi]
+		if dst.free == 0 {
+			lo++
+			continue
+		}
+		if src.free == c.slots {
+			hi--
+			continue
+		}
+		// Move one object from src to dst.
+		srcIdx := -1
+		for i := len(src.handles) - 1; i >= 0; i-- {
+			if src.handles[i] != 0 {
+				srcIdx = i
+				break
+			}
+		}
+		dstIdx := -1
+		for i, h := range dst.handles {
+			if h == 0 {
+				dstIdx = i
+				break
+			}
+		}
+		if srcIdx < 0 || dstIdx < 0 {
+			break
+		}
+		h := src.handles[srcIdx]
+		s := a.objects[h]
+		copy(dst.slotBytes(dstIdx, s.length), src.slotBytes(srcIdx, s.length))
+		moved += int64(s.length)
+		dst.handles[dstIdx] = h
+		dst.free--
+		src.handles[srcIdx] = 0
+		src.free++
+		s.page, s.index = dst, dstIdx
+	}
+	// Release pages emptied by migration, then rebuild the free list
+	// (migration changed many occupancies).
+	var emptied []*zpage
+	for _, p := range c.pages {
+		if p.free == c.slots {
+			emptied = append(emptied, p)
+		}
+	}
+	for _, p := range emptied {
+		a.releasePage(p)
+	}
+	c.freePages = c.freePages[:0]
+	for _, p := range c.pages {
+		p.inFree = false
+		c.noteFree(p)
+	}
+	return moved
+}
+
+// Stats returns a snapshot of allocator statistics.
+func (a *Allocator) Stats() Stats { return a.stats }
+
+// CheckInvariants verifies internal consistency; tests call it after
+// mutation storms. It returns an error describing the first violation.
+func (a *Allocator) CheckInvariants() error {
+	objects := 0
+	var stored int64
+	for _, c := range a.classes {
+		// Free-list consistency: every page with free slots is listed
+		// exactly once, full pages are not.
+		listed := map[*zpage]int{}
+		for _, p := range c.freePages {
+			listed[p]++
+		}
+		for _, p := range c.pages {
+			switch {
+			case p.free > 0 && (listed[p] != 1 || !p.inFree):
+				return fmt.Errorf("class %d: page with %d free slots not on free list", c.size, p.free)
+			case p.free == 0 && (listed[p] != 0 || p.inFree):
+				return fmt.Errorf("class %d: full page on free list", c.size)
+			}
+		}
+		for _, p := range c.pages {
+			if p.free == c.slots {
+				return fmt.Errorf("class %d holds an empty page", c.size)
+			}
+			used := 0
+			for i, h := range p.handles {
+				if h == 0 {
+					continue
+				}
+				used++
+				s, ok := a.objects[h]
+				if !ok {
+					return fmt.Errorf("page slot holds unknown handle %d", h)
+				}
+				if s.page != p || s.index != i {
+					return fmt.Errorf("handle %d back-pointer mismatch", h)
+				}
+				if s.length > c.size {
+					return fmt.Errorf("handle %d length %d exceeds class %d", h, s.length, c.size)
+				}
+			}
+			if used != c.slots-p.free {
+				return fmt.Errorf("class %d page free count %d inconsistent with %d used slots",
+					c.size, p.free, used)
+			}
+			objects += used
+		}
+	}
+	for h, s := range a.objects {
+		if s.page.handles[s.index] != h {
+			return fmt.Errorf("object %d not present at its slot", h)
+		}
+		stored += int64(s.length)
+	}
+	if objects != len(a.objects) {
+		return fmt.Errorf("page slots hold %d objects, map holds %d", objects, len(a.objects))
+	}
+	if objects != a.stats.Objects {
+		return fmt.Errorf("stats.Objects %d, want %d", a.stats.Objects, objects)
+	}
+	if stored != a.stats.StoredBytes {
+		return fmt.Errorf("stats.StoredBytes %d, want %d", a.stats.StoredBytes, stored)
+	}
+	return nil
+}
