@@ -281,6 +281,93 @@ func BenchmarkAblationD5DemandOffload(b *testing.B) {
 	b.ReportMetric(offLatency, "nmaLatency-ms-offloaded")
 }
 
+// --- Batched offload pipeline benchmarks ---
+
+// batchPages builds n compressible pages keyed by id.
+func batchPages(n int) []sfm.PageOut {
+	out := make([]sfm.PageOut, n)
+	for i := range out {
+		out[i] = sfm.PageOut{ID: sfm.PageID(i), Data: corpus.KeyValue(int64(i), sfm.PageSize)}
+	}
+	return out
+}
+
+// benchBatchSwapOut measures batched swap-out throughput through the
+// given backend constructor, reporting pages/s. Each iteration swaps a
+// 256-page batch out and back in, so the store returns to empty and
+// iterations are identical.
+func benchBatchSwapOut(b *testing.B, mk func() sfm.Backend) {
+	const npages = 256
+	outs := batchPages(npages)
+	ins := make([]sfm.PageIn, npages)
+	for i := range ins {
+		ins[i] = sfm.PageIn{ID: outs[i].ID, Dst: make([]byte, sfm.PageSize)}
+	}
+	backend := mk()
+	b.ReportAllocs()
+	b.SetBytes(npages * sfm.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sfm.FirstError(backend.SwapOutBatch(0, outs)); err != nil {
+			b.Fatal(err)
+		}
+		if err := sfm.FirstError(backend.SwapInBatch(0, ins, false)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*npages/b.Elapsed().Seconds(), "pages/s")
+}
+
+// BenchmarkBatchSwapOutSerial is the single-core reference: a plain
+// CPU backend executing the batch as a loop.
+func BenchmarkBatchSwapOutSerial(b *testing.B) {
+	benchBatchSwapOut(b, func() sfm.Backend {
+		return sfm.NewCPUBackend(compress.NewXDeflate(), 0)
+	})
+}
+
+// BenchmarkBatchSwapOutParallel runs the same batch through the
+// sharded backend with GOMAXPROCS workers. On a multi-core runner the
+// pages/s metric should exceed the serial reference by ≈ the core
+// count; on a single-core runner the two are equal (the worker pool
+// degrades to the inline serial path).
+func BenchmarkBatchSwapOutParallel(b *testing.B) {
+	benchBatchSwapOut(b, func() sfm.Backend {
+		return sfm.NewShardedBackend(compress.NewXDeflate(), 0, 16, 0)
+	})
+}
+
+// BenchmarkBatchXFMParallel drives the full XFM backend (driver, ECC,
+// NMA accounting) with a sharded store.
+func BenchmarkBatchXFMParallel(b *testing.B) {
+	benchBatchSwapOut(b, func() sfm.Backend {
+		sim := nma.NewSim(nma.DefaultConfig(dram.Device32Gb))
+		backend, err := xfm.NewShardedBackend(compress.NewXDeflate(), 1<<30, 16, 0,
+			xfm.NewDriver(sim), memctrl.SkylakeMapping(4, 2, dram.Device32Gb))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return backend
+	})
+}
+
+// BenchmarkBatchCompressHotPath pins the zero-allocation compress hot
+// path: one page through a warmed Scratch (allocs/op should be 0).
+func BenchmarkBatchCompressHotPath(b *testing.B) {
+	page := corpus.KeyValue(7, sfm.PageSize)
+	s := compress.GetScratch()
+	defer s.Release()
+	c := compress.NewXDeflate()
+	s.Compress(c, page) // warm
+	b.ReportAllocs()
+	b.SetBytes(sfm.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Compress(c, page)
+	}
+}
+
 // BenchmarkCostModelSweep measures the analytical model's throughput
 // (it backs interactive tools).
 func BenchmarkCostModelSweep(b *testing.B) {

@@ -1,6 +1,6 @@
 package compress
 
-import "sort"
+import "slices"
 
 // Canonical Huffman coding used by the xdeflate codec. Code lengths are
 // limited to huffMaxBits; codes are assigned canonically (by length,
@@ -8,76 +8,118 @@ import "sort"
 
 const huffMaxBits = 15
 
-// huffBuildLengths computes length-limited Huffman code lengths for the
-// given symbol frequencies. Symbols with zero frequency get length 0.
-// If only one symbol has nonzero frequency it is assigned length 1.
-func huffBuildLengths(freq []int) []uint8 {
-	lengths := make([]uint8, len(freq))
-	var live []int // indexes of unmerged nodes
-	var nodes []nodeRef
+// huffScratch holds the reusable working state of the Huffman
+// construction so the hot path builds code tables without allocating.
+// It lives inside the pooled xdeflate encode state.
+type huffScratch struct {
+	nodes    []nodeRef
+	live     []int32
+	keys     []int64
+	work     []int32
+	internal []int32
+	stack    []depthItem
+}
+
+type depthItem struct {
+	idx   int32
+	depth int32
+}
+
+// huffBuildLengthsInto computes length-limited Huffman code lengths for
+// the given symbol frequencies into lengths (len(lengths) must equal
+// len(freq)). Symbols with zero frequency get length 0. If only one
+// symbol has nonzero frequency it is assigned length 1. All working
+// memory comes from hs.
+func huffBuildLengthsInto(lengths []uint8, freq []int, hs *huffScratch) {
+	for i := range lengths {
+		lengths[i] = 0
+	}
+	hs.nodes = hs.nodes[:0]
+	hs.live = hs.live[:0]
 	for s, f := range freq {
 		if f > 0 {
-			nodes = append(nodes, nodeRef{weight: f, sym: s, left: -1, right: -1})
-			live = append(live, len(nodes)-1)
+			hs.nodes = append(hs.nodes, nodeRef{weight: f, sym: s, left: -1, right: -1})
+			hs.live = append(hs.live, int32(len(hs.nodes)-1))
 		}
 	}
-	switch len(live) {
+	switch len(hs.live) {
 	case 0:
-		return lengths
+		return
 	case 1:
-		lengths[nodes[live[0]].sym] = 1
-		return lengths
+		lengths[hs.nodes[hs.live[0]].sym] = 1
+		return
 	}
 	for attempt := 0; ; attempt++ {
-		// Standard Huffman construction over the current weights.
-		work := append([]int(nil), live...)
-		sort.Slice(work, func(i, j int) bool {
-			return nodes[work[i]].weight < nodes[work[j]].weight
-		})
+		// Standard Huffman construction over the current weights. The
+		// sort key is (weight, node index): a total order packed into
+		// one int64, so the code assignment is deterministic and the
+		// sort runs closure- and allocation-free.
+		hs.keys = hs.keys[:0]
+		for _, idx := range hs.live {
+			hs.keys = append(hs.keys, int64(hs.nodes[idx].weight)<<20|int64(idx))
+		}
+		slices.Sort(hs.keys)
+		hs.work = hs.work[:0]
+		for _, k := range hs.keys {
+			hs.work = append(hs.work, int32(k&(1<<20-1)))
+		}
 		// Simple two-queue merge: leaves queue + internal queue, both
 		// kept sorted by construction.
-		leaves := work
-		var internal []int
-		pop := func() int {
-			if len(leaves) == 0 {
-				n := internal[0]
-				internal = internal[1:]
+		leaves := hs.work
+		li := 0
+		hs.internal = hs.internal[:0]
+		ii := 0
+		pop := func() int32 {
+			if li >= len(leaves) {
+				n := hs.internal[ii]
+				ii++
 				return n
 			}
-			if len(internal) == 0 || nodes[leaves[0]].weight <= nodes[internal[0]].weight {
-				n := leaves[0]
-				leaves = leaves[1:]
+			if ii >= len(hs.internal) || hs.nodes[leaves[li]].weight <= hs.nodes[hs.internal[ii]].weight {
+				n := leaves[li]
+				li++
 				return n
 			}
-			n := internal[0]
-			internal = internal[1:]
+			n := hs.internal[ii]
+			ii++
 			return n
 		}
 		total := len(leaves)
 		for total > 1 {
 			a := pop()
 			b := pop()
-			nodes = append(nodes, nodeRef{weight: nodes[a].weight + nodes[b].weight, sym: -1, left: a, right: b})
-			internal = append(internal, len(nodes)-1)
+			hs.nodes = append(hs.nodes, nodeRef{
+				weight: hs.nodes[a].weight + hs.nodes[b].weight,
+				sym:    -1, left: a, right: b,
+			})
+			hs.internal = append(hs.internal, int32(len(hs.nodes)-1))
 			total--
 		}
 		root := pop()
 		// Walk depths iteratively.
-		maxDepth := assignDepths(nodes, root, lengths)
+		maxDepth := assignDepths(hs, root, lengths)
 		if maxDepth <= huffMaxBits {
-			return lengths
+			return
 		}
 		// Length overflow: dampen the weights and retry. Each round
 		// halves the dynamic range, converging to equal weights
 		// (a balanced tree) in the worst case.
-		for _, idx := range live {
-			nodes[idx].weight = nodes[idx].weight/2 + 1
+		for _, idx := range hs.live {
+			hs.nodes[idx].weight = hs.nodes[idx].weight/2 + 1
 		}
-		nodes = nodes[:len(live)] // drop internal nodes
+		hs.nodes = hs.nodes[:len(hs.live)] // drop internal nodes
 		for i := range lengths {
 			lengths[i] = 0
 		}
 	}
+}
+
+// huffBuildLengths is the allocating convenience form used by tests.
+func huffBuildLengths(freq []int) []uint8 {
+	lengths := make([]uint8, len(freq))
+	var hs huffScratch
+	huffBuildLengthsInto(lengths, freq, &hs)
+	return lengths
 }
 
 // nodeRef is a Huffman tree node: sym >= 0 for leaves, -1 for internal
@@ -85,25 +127,21 @@ func huffBuildLengths(freq []int) []uint8 {
 type nodeRef struct {
 	weight int
 	sym    int
-	left   int
-	right  int
+	left   int32
+	right  int32
 }
 
 // assignDepths writes leaf depths into lengths and returns the maximum
 // depth found.
-func assignDepths(nodes []nodeRef, root int, lengths []uint8) int {
-	type item struct {
-		idx   int
-		depth int
-	}
+func assignDepths(hs *huffScratch, root int32, lengths []uint8) int {
 	maxDepth := 0
-	stack := []item{{root, 0}}
-	for len(stack) > 0 {
-		it := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		n := nodes[it.idx]
+	hs.stack = append(hs.stack[:0], depthItem{root, 0})
+	for len(hs.stack) > 0 {
+		it := hs.stack[len(hs.stack)-1]
+		hs.stack = hs.stack[:len(hs.stack)-1]
+		n := hs.nodes[it.idx]
 		if n.sym >= 0 {
-			d := it.depth
+			d := int(it.depth)
 			if d == 0 {
 				d = 1 // single-symbol tree
 			}
@@ -113,15 +151,15 @@ func assignDepths(nodes []nodeRef, root int, lengths []uint8) int {
 			}
 			continue
 		}
-		stack = append(stack, item{n.left, it.depth + 1}, item{n.right, it.depth + 1})
+		hs.stack = append(hs.stack, depthItem{n.left, it.depth + 1}, depthItem{n.right, it.depth + 1})
 	}
 	return maxDepth
 }
 
-// huffCanonicalCodes assigns canonical codes from lengths. The returned
-// codes are bit-reversed for LSB-first emission (like DEFLATE).
-func huffCanonicalCodes(lengths []uint8) []uint32 {
-	codes := make([]uint32, len(lengths))
+// huffCanonicalCodesInto assigns canonical codes from lengths into
+// codes (len(codes) must equal len(lengths)). The codes are
+// bit-reversed for LSB-first emission (like DEFLATE).
+func huffCanonicalCodesInto(codes []uint32, lengths []uint8) {
 	var blCount [huffMaxBits + 1]int
 	for _, l := range lengths {
 		blCount[l]++
@@ -135,11 +173,18 @@ func huffCanonicalCodes(lengths []uint8) []uint32 {
 	}
 	for sym, l := range lengths {
 		if l == 0 {
+			codes[sym] = 0
 			continue
 		}
 		codes[sym] = reverseBits(nextCode[l], uint(l))
 		nextCode[l]++
 	}
+}
+
+// huffCanonicalCodes is the allocating convenience form used by tests.
+func huffCanonicalCodes(lengths []uint8) []uint32 {
+	codes := make([]uint32, len(lengths))
+	huffCanonicalCodesInto(codes, lengths)
 	return codes
 }
 
@@ -161,29 +206,42 @@ type huffDecoder struct {
 	syms  []int
 }
 
-func newHuffDecoder(lengths []uint8) *huffDecoder {
-	d := &huffDecoder{}
-	type sl struct {
-		sym int
-		l   uint8
+// init rebuilds the decoder from a code-length table, reusing the
+// symbol buffer. Canonical order is (length, symbol), which a pass per
+// length in ascending symbol order produces directly — no sort, no
+// allocation in the steady state.
+func (d *huffDecoder) init(lengths []uint8) {
+	for i := range d.count {
+		d.count[i] = 0
 	}
-	var entries []sl
-	for sym, l := range lengths {
+	n := 0
+	for _, l := range lengths {
 		if l > 0 {
 			d.count[l]++
-			entries = append(entries, sl{sym, l})
+			n++
 		}
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].l != entries[j].l {
-			return entries[i].l < entries[j].l
-		}
-		return entries[i].sym < entries[j].sym
-	})
-	d.syms = make([]int, len(entries))
-	for i, e := range entries {
-		d.syms[i] = e.sym
+	if cap(d.syms) < n {
+		d.syms = make([]int, n)
 	}
+	d.syms = d.syms[:n]
+	idx := 0
+	for l := uint8(1); l <= huffMaxBits; l++ {
+		if d.count[l] == 0 {
+			continue
+		}
+		for sym, sl := range lengths {
+			if sl == l {
+				d.syms[idx] = sym
+				idx++
+			}
+		}
+	}
+}
+
+func newHuffDecoder(lengths []uint8) *huffDecoder {
+	d := &huffDecoder{}
+	d.init(lengths)
 	return d
 }
 

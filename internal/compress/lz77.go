@@ -19,79 +19,100 @@ type lzToken struct {
 	lit    byte
 }
 
-// lz77Parse produces the token stream for src with matches limited to
-// the given window. With lazy matching (the standard DEFLATE
-// heuristic) a match is deferred by one position when the next
-// position holds a strictly longer one, trading a literal for a
-// better match.
-func lz77Parse(src []byte, window int, lazy bool) []lzToken {
+// lz77Encoder holds the matcher's reusable state (token output, hash
+// heads, chain links) so the hot path parses without allocating. It is
+// pooled inside the xdeflate encode state; a zero value is ready to
+// use.
+type lz77Encoder struct {
+	tokens []lzToken
+	head   [1 << lz77HashLog]int32
+	prev   []int32
+	src    []byte
+	window int
+}
+
+// insert records position pos in the hash chains.
+func (e *lz77Encoder) insert(pos int) {
+	if pos+lz77MinMatch > len(e.src) {
+		return
+	}
+	h := lz77Hash(e.src[pos:])
+	e.prev[pos] = e.head[h]
+	e.head[h] = int32(pos)
+}
+
+// findMatch returns the best match starting at i within the window.
+func (e *lz77Encoder) findMatch(i int) (bestLen, bestDist int) {
+	src := e.src
+	if i+lz77MinMatch > len(src) {
+		return 0, 0
+	}
+	h := lz77Hash(src[i:])
+	cand := e.head[h]
+	chain := 0
+	for cand >= 0 && chain < lz77MaxChain {
+		c := int(cand)
+		dist := i - c
+		if dist > e.window {
+			break
+		}
+		if dist > 0 {
+			l := matchLen(src, c, i)
+			if l > bestLen {
+				bestLen, bestDist = l, dist
+				if l >= lz77MaxMatch {
+					break
+				}
+			}
+		}
+		cand = e.prev[c]
+		chain++
+	}
+	return bestLen, bestDist
+}
+
+// parse produces the token stream for src with matches limited to the
+// given window. With lazy matching (the standard DEFLATE heuristic) a
+// match is deferred by one position when the next position holds a
+// strictly longer one, trading a literal for a better match. The
+// returned slice is owned by the encoder and valid until the next
+// parse call.
+func (e *lz77Encoder) parse(src []byte, window int, lazy bool) []lzToken {
 	if window < 1 {
 		window = 1
 	}
 	if window > 65535 {
 		window = 65535
 	}
-	tokens := make([]lzToken, 0, len(src)/3+8)
-	var head [1 << lz77HashLog]int32
-	for i := range head {
-		head[i] = -1
+	e.src, e.window = src, window
+	e.tokens = e.tokens[:0]
+	for i := range e.head {
+		e.head[i] = -1
 	}
-	prev := make([]int32, len(src))
-	insert := func(pos int) {
-		if pos+lz77MinMatch > len(src) {
-			return
-		}
-		h := lz77Hash(src[pos:])
-		prev[pos] = head[h]
-		head[h] = int32(pos)
+	if cap(e.prev) < len(src) {
+		e.prev = make([]int32, len(src))
 	}
-	findMatch := func(i int) (bestLen, bestDist int) {
-		if i+lz77MinMatch > len(src) {
-			return 0, 0
-		}
-		h := lz77Hash(src[i:])
-		cand := head[h]
-		chain := 0
-		for cand >= 0 && chain < lz77MaxChain {
-			c := int(cand)
-			dist := i - c
-			if dist > window {
-				break
-			}
-			if dist > 0 {
-				l := matchLen(src, c, i)
-				if l > bestLen {
-					bestLen, bestDist = l, dist
-					if l >= lz77MaxMatch {
-						break
-					}
-				}
-			}
-			cand = prev[c]
-			chain++
-		}
-		return bestLen, bestDist
-	}
+	e.prev = e.prev[:len(src)]
 	i := 0
 	for i < len(src) {
-		bestLen, bestDist := findMatch(i)
+		bestLen, bestDist := e.findMatch(i)
 		if lazy && bestLen >= lz77MinMatch && bestLen < lz77MaxMatch && i+1 < len(src) {
 			// Insert i (it is consumed either way), then peek one
 			// position ahead for a strictly longer match.
-			insert(i)
-			nextLen, nextDist := findMatch(i + 1)
+			e.insert(i)
+			nextLen, nextDist := e.findMatch(i + 1)
 			firstInsert := 1 // position i is already inserted
 			if nextLen > bestLen {
 				// Emit the current byte as a literal and take the
 				// longer match starting at i+1.
-				tokens = append(tokens, lzToken{lit: src[i]})
+				e.tokens = append(e.tokens, lzToken{lit: src[i]})
 				i++
 				bestLen, bestDist = nextLen, nextDist
 				firstInsert = 0 // the deferred match start is not inserted
 			}
-			tokens = append(tokens, lzToken{length: uint16(bestLen), dist: uint16(bestDist)})
+			e.tokens = append(e.tokens, lzToken{length: uint16(bestLen), dist: uint16(bestDist)})
 			for k := firstInsert; k < bestLen; k++ {
-				insert(i + k)
+				e.insert(i + k)
 			}
 			i += bestLen
 			continue
@@ -100,20 +121,27 @@ func lz77Parse(src []byte, window int, lazy bool) []lzToken {
 			if bestLen > lz77MaxMatch {
 				bestLen = lz77MaxMatch
 			}
-			tokens = append(tokens, lzToken{length: uint16(bestLen), dist: uint16(bestDist)})
+			e.tokens = append(e.tokens, lzToken{length: uint16(bestLen), dist: uint16(bestDist)})
 			// Insert hash entries for every position the match covers
 			// so later matches can reference them.
 			for k := 0; k < bestLen; k++ {
-				insert(i + k)
+				e.insert(i + k)
 			}
 			i += bestLen
 		} else {
-			tokens = append(tokens, lzToken{lit: src[i]})
-			insert(i)
+			e.tokens = append(e.tokens, lzToken{lit: src[i]})
+			e.insert(i)
 			i++
 		}
 	}
-	return tokens
+	e.src = nil
+	return e.tokens
+}
+
+// lz77Parse is the allocation-per-call convenience form used by tests.
+func lz77Parse(src []byte, window int, lazy bool) []lzToken {
+	var e lz77Encoder
+	return e.parse(src, window, lazy)
 }
 
 // matchLen returns the common-prefix length of src[a:] and src[b:]

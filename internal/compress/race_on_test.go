@@ -1,0 +1,8 @@
+//go:build race
+
+package compress
+
+// raceEnabled reports that this binary was built with -race, whose
+// instrumentation defeats sync.Pool caching and adds allocations;
+// alloc-count regression tests skip themselves under it.
+const raceEnabled = true

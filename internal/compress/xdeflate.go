@@ -1,5 +1,7 @@
 package compress
 
+import "sync"
+
 // XDeflate is a from-scratch LZ77 + canonical-Huffman codec in the
 // DEFLATE class. It stands in for the Deflate accelerator the paper's
 // NMA implements (§7) and for zstd on the CPU path: slower than LZFast,
@@ -18,6 +20,11 @@ package compress
 // 257-285 length codes with extra bits. The distance alphabet is
 // DEFLATE's 30 codes. Code lengths are ≤ 15 so they pack into nibbles
 // only when ≤ 15 — they always are (huffMaxBits = 15).
+//
+// All per-call working state (LZ77 matcher, frequency tables, code
+// tables, the bit-packed body) lives in pooled xdEncState/xdDecState
+// values, so steady-state Compress and Decompress calls do not
+// allocate beyond the caller's dst buffer.
 type XDeflate struct {
 	window int
 	// lazy enables one-position lazy match deferral (DEFLATE's
@@ -30,6 +37,32 @@ const (
 	xdDistSyms   = 30
 	xdEOB        = 256
 )
+
+// xdEncState is the pooled per-call state of the encoder hot path.
+type xdEncState struct {
+	lz        lz77Encoder
+	hs        huffScratch
+	litFreq   [xdLitLenSyms]int
+	distFreq  [xdDistSyms]int
+	litLens   [xdLitLenSyms]uint8
+	distLens  [xdDistSyms]uint8
+	litCodes  [xdLitLenSyms]uint32
+	distCodes [xdDistSyms]uint32
+	nibs      []uint8
+	body      []byte
+}
+
+var xdEncPool = sync.Pool{New: func() any { return new(xdEncState) }}
+
+// xdDecState is the pooled per-call state of the decoder hot path.
+type xdDecState struct {
+	litLens  [xdLitLenSyms]uint8
+	distLens [xdDistSyms]uint8
+	litDec   huffDecoder
+	distDec  huffDecoder
+}
+
+var xdDecPool = sync.Pool{New: func() any { return new(xdDecState) }}
 
 // NewXDeflate returns the default codec with a 32 KiB window and lazy
 // matching.
@@ -85,20 +118,32 @@ func (x *XDeflate) Compress(dst, src []byte) []byte {
 	if len(src) == 0 {
 		return append(dst, 0) // empty stored block
 	}
-	body := x.encodeHuffman(src)
+	st := xdEncPool.Get().(*xdEncState)
+	body := x.encodeHuffman(st, src)
 	if body == nil || len(body) >= len(src) {
+		xdEncPool.Put(st)
 		dst = append(dst, 0) // stored
 		return append(dst, src...)
 	}
 	dst = append(dst, 1)
-	return append(dst, body...)
+	dst = append(dst, body...)
+	xdEncPool.Put(st)
+	return dst
 }
 
-func (x *XDeflate) encodeHuffman(src []byte) []byte {
-	tokens := lz77Parse(src, x.window, x.lazy)
+// encodeHuffman builds the huffman block into st.body and returns it;
+// the result is valid until st is reused.
+func (x *XDeflate) encodeHuffman(st *xdEncState, src []byte) []byte {
+	tokens := st.lz.parse(src, x.window, x.lazy)
 	// Frequency pass.
-	litFreq := make([]int, xdLitLenSyms)
-	distFreq := make([]int, xdDistSyms)
+	litFreq := st.litFreq[:]
+	distFreq := st.distFreq[:]
+	for i := range litFreq {
+		litFreq[i] = 0
+	}
+	for i := range distFreq {
+		distFreq[i] = 0
+	}
 	for _, t := range tokens {
 		if t.length == 0 {
 			litFreq[t.lit]++
@@ -108,20 +153,24 @@ func (x *XDeflate) encodeHuffman(src []byte) []byte {
 		}
 	}
 	litFreq[xdEOB]++
-	litLens := huffBuildLengths(litFreq)
-	distLens := huffBuildLengths(distFreq)
-	litCodes := huffCanonicalCodes(litLens)
-	distCodes := huffCanonicalCodes(distLens)
+	litLens := st.litLens[:]
+	distLens := st.distLens[:]
+	huffBuildLengthsInto(litLens, litFreq, &st.hs)
+	huffBuildLengthsInto(distLens, distFreq, &st.hs)
+	litCodes := st.litCodes[:]
+	distCodes := st.distCodes[:]
+	huffCanonicalCodesInto(litCodes, litLens)
+	huffCanonicalCodesInto(distCodes, distLens)
 
 	// Header: trimmed, nibble-packed code length tables.
 	maxLit := maxUsedSym(litLens)
 	maxDist := maxUsedSym(distLens)
-	out := make([]byte, 0, len(src)/2+64)
+	out := st.body[:0]
 	out = append(out, byte(maxLit), byte(maxLit>>8))
-	out = packNibbles(out, litLens[:maxLit+1])
+	out = st.packNibbles(out, litLens[:maxLit+1])
 	out = append(out, byte(maxDist))
 	if maxDist >= 0 {
-		out = packNibbles(out, distLens[:maxDist+1])
+		out = st.packNibbles(out, distLens[:maxDist+1])
 	}
 
 	w := bitWriter{buf: out}
@@ -141,7 +190,8 @@ func (x *XDeflate) encodeHuffman(src []byte) []byte {
 		w.writeBits(uint32(int(t.dist)-distBase[dc]), distExtra[dc])
 	}
 	emitLit(xdEOB)
-	return w.flush()
+	st.body = w.flush()
+	return st.body
 }
 
 // Decompress implements Codec.
@@ -165,13 +215,16 @@ func (x *XDeflate) Decompress(dst, src []byte) ([]byte, error) {
 		}
 		return append(dst, src...), nil
 	case 1:
-		return x.decodeHuffman(dst, src, want, base)
+		st := xdDecPool.Get().(*xdDecState)
+		dst, err := x.decodeHuffman(st, dst, src, want, base)
+		xdDecPool.Put(st)
+		return dst, err
 	default:
 		return dst, ErrCorrupt
 	}
 }
 
-func (x *XDeflate) decodeHuffman(dst, src []byte, want, base int) ([]byte, error) {
+func (x *XDeflate) decodeHuffman(st *xdDecState, dst, src []byte, want, base int) ([]byte, error) {
 	if len(src) < 2 {
 		return dst, ErrCorrupt
 	}
@@ -180,7 +233,10 @@ func (x *XDeflate) decodeHuffman(dst, src []byte, want, base int) ([]byte, error
 	if maxLit < xdEOB || maxLit >= xdLitLenSyms {
 		return dst, ErrCorrupt
 	}
-	litLens := make([]uint8, xdLitLenSyms)
+	litLens := st.litLens[:]
+	for i := range litLens {
+		litLens[i] = 0
+	}
 	var ok bool
 	src, ok = unpackNibbles(src, litLens[:maxLit+1])
 	if !ok || len(src) < 1 {
@@ -188,7 +244,10 @@ func (x *XDeflate) decodeHuffman(dst, src []byte, want, base int) ([]byte, error
 	}
 	maxDist := int(int8(src[0]))
 	src = src[1:]
-	distLens := make([]uint8, xdDistSyms)
+	distLens := st.distLens[:]
+	for i := range distLens {
+		distLens[i] = 0
+	}
 	if maxDist >= 0 {
 		if maxDist >= xdDistSyms {
 			return dst, ErrCorrupt
@@ -198,8 +257,9 @@ func (x *XDeflate) decodeHuffman(dst, src []byte, want, base int) ([]byte, error
 			return dst, ErrCorrupt
 		}
 	}
-	litDec := newHuffDecoder(litLens)
-	distDec := newHuffDecoder(distLens)
+	st.litDec.init(litLens)
+	st.distDec.init(distLens)
+	litDec, distDec := &st.litDec, &st.distDec
 	r := bitReader{src: src}
 	for {
 		sym := litDec.decode(&r)
@@ -257,9 +317,10 @@ func maxUsedSym(lens []uint8) int {
 // a zero nibble is followed by one nibble encoding a run of 1–16
 // zeros. Unused-literal gaps dominate the table, so this keeps the
 // per-block header small enough for the 1 KiB per-DIMM segments of
-// multi-channel mode (Fig. 8).
-func packNibbles(dst []byte, lens []uint8) []byte {
-	var nibs []uint8
+// multi-channel mode (Fig. 8). The nibble staging buffer is reused
+// from the encode state.
+func (st *xdEncState) packNibbles(dst []byte, lens []uint8) []byte {
+	nibs := st.nibs[:0]
 	for i := 0; i < len(lens); {
 		if lens[i] != 0 {
 			nibs = append(nibs, lens[i]&0x0f)
@@ -273,6 +334,7 @@ func packNibbles(dst []byte, lens []uint8) []byte {
 		}
 		nibs = append(nibs, 0, uint8(run-1))
 	}
+	st.nibs = nibs
 	for i := 0; i < len(nibs); i += 2 {
 		b := nibs[i]
 		if i+1 < len(nibs) {
@@ -281,6 +343,12 @@ func packNibbles(dst []byte, lens []uint8) []byte {
 		dst = append(dst, b)
 	}
 	return dst
+}
+
+// packNibbles is the allocating convenience form used by tests.
+func packNibbles(dst []byte, lens []uint8) []byte {
+	var st xdEncState
+	return st.packNibbles(dst, lens)
 }
 
 // unpackNibbles fills out from src and returns the remaining source.

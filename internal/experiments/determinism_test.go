@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFig8ParallelMatchesSerial pins the tentpole determinism claim:
+// the per-corpus fan-out must render a table bit-identical to the
+// serial reference, because rows gather by corpus index and the
+// retention means accumulate serially in corpus order.
+func TestFig8ParallelMatchesSerial(t *testing.T) {
+	serial := Fig8Workers(true, 1)
+	parallel := Fig8Workers(true, 8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel Fig8 result differs from serial")
+	}
+	if s, p := serial.Table().String(), parallel.Table().String(); s != p {
+		t.Fatalf("parallel Fig8 table differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+}
+
+// TestMixSweepDeterministic: the sweep used to iterate a map; it must
+// now produce the same ordered slice on every call.
+func TestMixSweepDeterministic(t *testing.T) {
+	a, b := MixSweep(), MixSweep()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("MixSweep is not deterministic across calls")
+	}
+	lo, hi := GainBand(a)
+	if lo >= hi {
+		t.Fatalf("degenerate gain band [%f, %f]", lo, hi)
+	}
+}
+
+// TestRunExperimentsParallelMatchesSerial runs a cheap subset of the
+// suite at two worker counts and requires identical rendered tables in
+// identical order.
+func TestRunExperimentsParallelMatchesSerial(t *testing.T) {
+	var subset []Experiment
+	for _, id := range []string{"fig1", "fig6", "table1", "table2", "table3", "sec32"} {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subset = append(subset, e)
+	}
+	serial := RunExperiments(subset, 1)
+	parallel := RunExperiments(subset, 4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("result lengths differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Experiment.ID != parallel[i].Experiment.ID {
+			t.Fatalf("result %d: order differs (%s vs %s)",
+				i, serial[i].Experiment.ID, parallel[i].Experiment.ID)
+		}
+		if s, p := serial[i].Table.String(), parallel[i].Table.String(); s != p {
+			t.Fatalf("experiment %s renders differently in parallel:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				serial[i].Experiment.ID, s, p)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package parallel provides the small worker-pool primitive shared by
+// the batched offload pipeline: sfm batch swap operations, xfm batch
+// offload submission, and the experiments runner all fan work out
+// through ForEach. Keeping one implementation makes the concurrency
+// shape of the whole stack auditable in one place.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count request: values > 0 pass through,
+// anything else means "one worker per available CPU" (GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) using up to workers
+// goroutines and returns when all calls have completed. workers ≤ 0
+// means GOMAXPROCS; a single worker (or n ≤ 1) runs inline with no
+// goroutines, so serial and parallel executions share one code path.
+//
+// Indexes are claimed with an atomic counter, so fn must not depend on
+// which goroutine runs which index — only per-index state may be
+// written without synchronization. Panics inside fn propagate to the
+// caller (the first one observed; others are dropped).
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicVal  any
+	)
+	body := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() { panicVal = r })
+			}
+		}()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go body()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

@@ -45,6 +45,15 @@ type Backend interface {
 	// is called by default unless the do_offload parameter is
 	// asserted").
 	SwapIn(now dram.Ps, id PageID, dst []byte, offload bool) error
+	// SwapOutBatch swaps out every page in pages and returns one error
+	// slot per page (nil on success), aligned with the input. Batches
+	// are the unit of offload submission in the paper (§5: swap traffic
+	// is batched per tREFI window); backends with internal sharding run
+	// the (de)compression of a batch in parallel.
+	SwapOutBatch(now dram.Ps, pages []PageOut) []error
+	// SwapInBatch swaps in every page in pages with the given offload
+	// hint, returning one error slot per page.
+	SwapInBatch(now dram.Ps, pages []PageIn, offload bool) []error
 	// Contains reports whether id is stored.
 	Contains(id PageID) bool
 	// Compact defragments the region and returns bytes moved.
@@ -81,11 +90,18 @@ func (s BackendStats) CompressionRatio() float64 {
 
 // CPUBackend is the baseline zswap-style backend: the CPU compresses
 // and decompresses pages synchronously with a software codec.
+//
+// CPUBackend is not safe for concurrent use; it is either owned by one
+// goroutine or wrapped in a ShardedBackend shard (which serializes
+// access per shard). That single-owner property lets it embed one
+// compress.Scratch whose buffers the swap hot path reuses instead of
+// allocating per page.
 type CPUBackend struct {
-	codec compress.Codec
-	alloc *zsmalloc.Allocator
-	index *rbtree.Tree[PageID, entry]
-	stats BackendStats
+	codec   compress.Codec
+	alloc   *zsmalloc.Allocator
+	index   *rbtree.Tree[PageID, entry]
+	stats   BackendStats
+	scratch compress.Scratch
 }
 
 type entry struct {
@@ -140,7 +156,10 @@ func (b *CPUBackend) SwapOut(now dram.Ps, id PageID, data []byte) error {
 		b.stats.SameFilledPages++
 		return nil
 	}
-	comp := b.codec.Compress(nil, data)
+	// Compress into the backend's scratch buffer: zsmalloc copies the
+	// bytes into its slot, so the staging buffer is reusable right
+	// after Alloc and the hot path allocates nothing per page.
+	comp := b.scratch.Compress(b.codec, data)
 	stored := comp
 	e := entry{rawSize: PageSize, stored: true}
 	if len(comp) >= PageSize {
@@ -194,7 +213,8 @@ func (b *CPUBackend) SwapIn(now dram.Ps, id PageID, dst []byte, offload bool) er
 		b.stats.StoredPages--
 		return nil
 	}
-	raw, err := b.alloc.Get(nil, e.handle)
+	raw, err := b.alloc.Get(b.scratch.Raw[:0], e.handle)
+	b.scratch.Raw = raw[:0]
 	if err != nil {
 		return err
 	}

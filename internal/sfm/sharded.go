@@ -1,0 +1,207 @@
+package sfm
+
+import (
+	"sync"
+
+	"xfm/internal/compress"
+	"xfm/internal/dram"
+	"xfm/internal/parallel"
+)
+
+// ShardedBackend partitions the far-memory region across several
+// CPUBackends so a batch's (de)compression can run on every core at
+// once. Pages are routed to shards by a hash of their PageID; each
+// shard owns an independent page table and zsmalloc region behind its
+// own mutex, so shard-disjoint operations never contend. This is the
+// software analogue of the paper's per-rank NMA engines (§5): one
+// compression unit per rank, all active in the same refresh window.
+//
+// Batch semantics match a serial loop over the same backend: results
+// are aligned with the input slice, and within a shard pages are
+// processed in input order, so stats and stored bytes are identical
+// regardless of worker count.
+type ShardedBackend struct {
+	shards  []backendShard
+	workers int
+}
+
+type backendShard struct {
+	mu sync.Mutex
+	b  *CPUBackend
+	// pad spaces the shard locks apart so they do not false-share a
+	// cache line when every worker is spinning on a different shard.
+	_ [64]byte
+}
+
+// NewShardedBackend builds a sharded backend with nShards CPUBackends
+// (clamped to ≥1), splitting regionBytes evenly across shards
+// (regionBytes ≤ 0 means unlimited everywhere). workers bounds batch
+// parallelism as in parallel.Workers: 0 means GOMAXPROCS. The codec is
+// shared by all shards and must be safe for concurrent use — every
+// codec in the compress package is (their mutable state is either
+// stack-local or pooled).
+func NewShardedBackend(codec compress.Codec, regionBytes int64, nShards, workers int) *ShardedBackend {
+	if nShards < 1 {
+		nShards = 1
+	}
+	perShard := regionBytes
+	if regionBytes > 0 {
+		perShard = regionBytes / int64(nShards)
+		if perShard < PageSize {
+			perShard = PageSize
+		}
+	}
+	s := &ShardedBackend{
+		shards:  make([]backendShard, nShards),
+		workers: parallel.Workers(workers),
+	}
+	for i := range s.shards {
+		s.shards[i].b = NewCPUBackend(codec, perShard)
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *ShardedBackend) Shards() int { return len(s.shards) }
+
+// shardIndex routes a page to its shard with a splitmix64-style mixer
+// so sequential PageIDs spread across shards instead of clustering.
+func (s *ShardedBackend) shardIndex(id PageID) int {
+	x := uint64(id)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(len(s.shards)))
+}
+
+func (s *ShardedBackend) shardOf(id PageID) *backendShard {
+	return &s.shards[s.shardIndex(id)]
+}
+
+// SwapOut implements Backend.
+func (s *ShardedBackend) SwapOut(now dram.Ps, id PageID, data []byte) error {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.b.SwapOut(now, id, data)
+}
+
+// SwapIn implements Backend.
+func (s *ShardedBackend) SwapIn(now dram.Ps, id PageID, dst []byte, offload bool) error {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.b.SwapIn(now, id, dst, offload)
+}
+
+// plan groups batch element indexes by destination shard, so each
+// shard's work is an index list processed in input order — the same
+// order a serial loop would use, which keeps batch results and stats
+// bit-identical to the serial path.
+func (s *ShardedBackend) plan(n int, shardOf func(i int) int) [][]int {
+	byShard := make([][]int, len(s.shards))
+	for i := 0; i < n; i++ {
+		si := shardOf(i)
+		byShard[si] = append(byShard[si], i)
+	}
+	return byShard
+}
+
+// SwapOutBatch implements Backend: pages are grouped by shard and the
+// shards are compressed in parallel. Each worker owns one shard at a
+// time, so the per-shard scratch buffer and page table see no
+// concurrent access.
+func (s *ShardedBackend) SwapOutBatch(now dram.Ps, pages []PageOut) []error {
+	errs := make([]error, len(pages))
+	byShard := s.plan(len(pages), func(i int) int { return s.shardIndex(pages[i].ID) })
+	parallel.ForEach(len(s.shards), s.workers, func(si int) {
+		idxs := byShard[si]
+		if len(idxs) == 0 {
+			return
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for _, i := range idxs {
+			errs[i] = sh.b.SwapOut(now, pages[i].ID, pages[i].Data)
+		}
+	})
+	return errs
+}
+
+// SwapInBatch implements Backend.
+func (s *ShardedBackend) SwapInBatch(now dram.Ps, pages []PageIn, offload bool) []error {
+	errs := make([]error, len(pages))
+	byShard := s.plan(len(pages), func(i int) int { return s.shardIndex(pages[i].ID) })
+	parallel.ForEach(len(s.shards), s.workers, func(si int) {
+		idxs := byShard[si]
+		if len(idxs) == 0 {
+			return
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for _, i := range idxs {
+			errs[i] = sh.b.SwapIn(now, pages[i].ID, pages[i].Dst, offload)
+		}
+	})
+	return errs
+}
+
+// Contains implements Backend.
+func (s *ShardedBackend) Contains(id PageID) bool {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.b.Contains(id)
+}
+
+// Compact implements Backend: every shard compacts; shards compact in
+// parallel since their regions are independent.
+func (s *ShardedBackend) Compact() int64 {
+	moved := make([]int64, len(s.shards))
+	parallel.ForEach(len(s.shards), s.workers, func(si int) {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		moved[si] = sh.b.Compact()
+	})
+	var total int64
+	for _, m := range moved {
+		total += m
+	}
+	return total
+}
+
+// Stats implements Backend, summing counters across shards.
+func (s *ShardedBackend) Stats() BackendStats {
+	var out BackendStats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st := sh.b.Stats()
+		sh.mu.Unlock()
+		out.SwapOuts += st.SwapOuts
+		out.SwapIns += st.SwapIns
+		out.BytesIn += st.BytesIn
+		out.BytesOut += st.BytesOut
+		out.CompressedBytes += st.CompressedBytes
+		out.StoredPages += st.StoredPages
+		out.CPUCycles += st.CPUCycles
+		out.IncompressiblePages += st.IncompressiblePages
+		out.SameFilledPages += st.SameFilledPages
+		out.CompactOnFull += st.CompactOnFull
+		out.Region.Objects += st.Region.Objects
+		out.Region.StoredBytes += st.Region.StoredBytes
+		out.Region.PageBytes += st.Region.PageBytes
+		out.Region.Allocs += st.Region.Allocs
+		out.Region.Frees += st.Region.Frees
+		out.Region.Compactions += st.Region.Compactions
+		out.Region.CompactedBytes += st.Region.CompactedBytes
+	}
+	return out
+}
+
+var _ Backend = (*ShardedBackend)(nil)

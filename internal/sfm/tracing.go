@@ -20,14 +20,19 @@ func NewTracingBackend(inner Backend) *TracingBackend {
 	return &TracingBackend{inner: inner}
 }
 
+// record appends one swap record.
+func (t *TracingBackend) record(now dram.Ps, op trace.Op, id PageID) {
+	t.recs = append(t.recs, trace.Record{
+		AtPs: int64(now), Op: op, PageID: int64(id), Bytes: PageSize,
+	})
+}
+
 // SwapOut implements Backend.
 func (t *TracingBackend) SwapOut(now dram.Ps, id PageID, data []byte) error {
 	if err := t.inner.SwapOut(now, id, data); err != nil {
 		return err
 	}
-	t.recs = append(t.recs, trace.Record{
-		AtPs: now, Op: trace.SwapOut, PageID: int64(id), Bytes: PageSize,
-	})
+	t.record(now, trace.SwapOut, id)
 	return nil
 }
 
@@ -40,9 +45,7 @@ func (t *TracingBackend) SwapIn(now dram.Ps, id PageID, dst []byte, offload bool
 	if offload {
 		op = trace.Prefetch
 	}
-	t.recs = append(t.recs, trace.Record{
-		AtPs: now, Op: op, PageID: int64(id), Bytes: PageSize,
-	})
+	t.record(now, op, id)
 	return nil
 }
 

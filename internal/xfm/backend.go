@@ -21,9 +21,10 @@ import (
 // timing model. CPU cycles are charged only for operations that
 // actually fell back to the CPU.
 type Backend struct {
-	inner  *sfm.CPUBackend
-	driver *Driver
-	mapp   memctrl.Mapping
+	inner   sfm.Backend
+	driver  *Driver
+	mapp    memctrl.Mapping
+	workers int // batch parallelism bound (0 = GOMAXPROCS)
 
 	// Lazy SPM occupancy tracking (§6): the backend assumes every
 	// submitted offload still occupies the SPM until a completion-
@@ -53,6 +54,26 @@ type Backend struct {
 // the driver must cover the rank holding the region. The mapping is
 // used to derive which refresh group each page's DRAM rows belong to.
 func NewBackend(codec compress.Codec, regionBytes int64, driver *Driver, m memctrl.Mapping) (*Backend, error) {
+	return newBackend(codec, sfm.NewCPUBackend(codec, regionBytes), regionBytes, driver, m)
+}
+
+// NewShardedBackend builds an XFM backend whose SFM store is sharded
+// across nShards page tables, so SwapOutBatch/SwapInBatch run their
+// (de)compression on up to workers goroutines (0 = GOMAXPROCS). This
+// models the paper's per-rank NMA parallelism (§5) on the emulator's
+// software datapath.
+func NewShardedBackend(codec compress.Codec, regionBytes int64, nShards, workers int,
+	driver *Driver, m memctrl.Mapping) (*Backend, error) {
+	b, err := newBackend(codec, sfm.NewShardedBackend(codec, regionBytes, nShards, workers), regionBytes, driver, m)
+	if err != nil {
+		return nil, err
+	}
+	b.workers = workers
+	return b, nil
+}
+
+func newBackend(codec compress.Codec, inner sfm.Backend, regionBytes int64,
+	driver *Driver, m memctrl.Mapping) (*Backend, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -60,7 +81,7 @@ func NewBackend(codec compress.Codec, regionBytes int64, driver *Driver, m memct
 		return nil, err
 	}
 	return &Backend{
-		inner:      sfm.NewCPUBackend(codec, regionBytes),
+		inner:      inner,
 		driver:     driver,
 		mapp:       m,
 		codec:      codec,

@@ -1,0 +1,176 @@
+package xfm
+
+import (
+	"fmt"
+
+	"xfm/internal/dram"
+	"xfm/internal/ecc"
+	"xfm/internal/nma"
+	"xfm/internal/parallel"
+	"xfm/internal/sfm"
+)
+
+// Batched swap paths. The XFM backends split each batch into a
+// parallel phase (pure per-page work: (de)compression via the inner
+// store, ECC parity math) and a serial phase (driver submissions,
+// parity-map and slot bookkeeping) executed in input order. Because
+// the serial phase runs in the same order a page-at-a-time loop would
+// use, and driver.AdvanceTo is idempotent at a fixed timestamp, batch
+// results, stats, and NMA accounting are identical to serial calls.
+
+// SwapOutBatch implements sfm.Backend: the inner store compresses the
+// batch (in parallel when the inner store is sharded), ECC parity is
+// computed on every core, and the offload submissions replay serially.
+func (b *Backend) SwapOutBatch(now dram.Ps, pages []sfm.PageOut) []error {
+	errs := b.inner.SwapOutBatch(now, pages)
+	var pars [][]byte
+	if b.eccEnabled {
+		// §4.1: the NMA regenerates side-band parity when writing back.
+		// Parity generation is pure per-page math — fan it out.
+		pars = make([][]byte, len(pages))
+		parallel.ForEach(len(pages), parallel.Workers(b.workers), func(i int) {
+			if errs[i] == nil {
+				pars[i] = ecc.PageParity(pages[i].Data)
+			}
+		})
+	}
+	b.driver.AdvanceTo(now)
+	for i, p := range pages {
+		if errs[i] != nil {
+			continue
+		}
+		if b.eccEnabled {
+			b.parity[p.ID] = pars[i]
+			b.parityBytes += int64(len(pars[i]))
+		}
+		b.nextReq++
+		req := nma.Request{
+			ID:       b.nextReq,
+			Kind:     nma.CompressOp,
+			SrcGroup: b.pageGroup(b.localAddr(p.ID)),
+			DstGroup: b.pageGroup(b.regionAddr(p.ID)),
+			Arrive:   now,
+		}
+		b.submitOrFallback(req, nma.CompressOp)
+	}
+	return errs
+}
+
+// SwapInBatch implements sfm.Backend: the inner store decompresses the
+// batch, parity verification fans out (the parity map sees only reads
+// during the parallel phase), and driver accounting replays serially.
+func (b *Backend) SwapInBatch(now dram.Ps, pages []sfm.PageIn, offload bool) []error {
+	errs := b.inner.SwapInBatch(now, pages, offload)
+	type verify struct {
+		corrected, bad int
+		checked        bool
+	}
+	var vs []verify
+	if b.eccEnabled {
+		vs = make([]verify, len(pages))
+		parallel.ForEach(len(pages), parallel.Workers(b.workers), func(i int) {
+			if errs[i] != nil {
+				return
+			}
+			if p, ok := b.parity[pages[i].ID]; ok {
+				c, bad := ecc.VerifyPage(pages[i].Dst, p)
+				vs[i] = verify{corrected: c, bad: bad, checked: true}
+			}
+		})
+	}
+	b.driver.AdvanceTo(now)
+	for i, p := range pages {
+		if errs[i] != nil {
+			continue
+		}
+		if b.eccEnabled && vs[i].checked {
+			b.eccCorrected += int64(vs[i].corrected)
+			b.eccUncorrectable += int64(vs[i].bad)
+			delete(b.parity, p.ID)
+			if vs[i].bad > 0 {
+				errs[i] = fmt.Errorf("xfm: page %d has %d uncorrectable ECC words", p.ID, vs[i].bad)
+				continue
+			}
+		}
+		if !offload {
+			b.fallbacks++
+			b.cpuCycles += b.codec.Info().DecompressCyclesPerByte * sfm.PageSize
+			continue
+		}
+		b.nextReq++
+		req := nma.Request{
+			ID:       b.nextReq,
+			Kind:     nma.DecompressOp,
+			SrcGroup: b.pageGroup(b.regionAddr(p.ID)),
+			DstGroup: b.pageGroup(b.localAddr(p.ID)),
+			Arrive:   now,
+		}
+		b.submitOrFallback(req, nma.DecompressOp)
+	}
+	return errs
+}
+
+// SwapOutBatch implements sfm.Backend: the multi-channel
+// split-and-compress of every page runs in parallel (it touches no
+// shared state), then slots are placed and offloads submitted in input
+// order.
+func (g *GroupBackend) SwapOutBatch(now dram.Ps, pages []sfm.PageOut) []error {
+	errs := make([]error, len(pages))
+	cls := make([]CompressedLayout, len(pages))
+	parallel.ForEach(len(pages), parallel.Workers(g.workers), func(i int) {
+		data := pages[i].Data
+		if len(data) != sfm.PageSize {
+			errs[i] = fmt.Errorf("xfm: page %d has %d bytes, want %d", pages[i].ID, len(data), sfm.PageSize)
+			return
+		}
+		cls[i] = g.layout.CompressPage(data, g.newCodec)
+	})
+	for i, p := range pages {
+		if errs[i] != nil {
+			continue
+		}
+		errs[i] = g.placeCompressed(now, p.ID, cls[i])
+	}
+	return errs
+}
+
+// SwapInBatch implements sfm.Backend: per-DIMM decompression and
+// gathering run in parallel (the slot map sees only reads), then slot
+// removal and offload submission replay in input order. A page that
+// appears twice in one batch decompresses twice but only the first
+// occurrence succeeds, matching a serial loop.
+func (g *GroupBackend) SwapInBatch(now dram.Ps, pages []sfm.PageIn, offload bool) []error {
+	errs := make([]error, len(pages))
+	cls := make([]CompressedLayout, len(pages))
+	done := make([]bool, len(pages))
+	parallel.ForEach(len(pages), parallel.Workers(g.workers), func(i int) {
+		p := pages[i]
+		if len(p.Dst) != sfm.PageSize {
+			errs[i] = fmt.Errorf("xfm: dst has %d bytes, want %d", len(p.Dst), sfm.PageSize)
+			return
+		}
+		cl, ok := g.slots[p.ID]
+		if !ok {
+			errs[i] = sfm.ErrNotFound
+			return
+		}
+		if _, err := g.layout.DecompressPageInto(p.Dst[:0], cl, g.newCodec, sfm.PageSize); err != nil {
+			errs[i] = err
+			return
+		}
+		cls[i] = cl
+		done[i] = true
+	})
+	for i, p := range pages {
+		if !done[i] {
+			continue
+		}
+		if _, ok := g.slots[p.ID]; !ok {
+			// An earlier batch element already swapped this id in.
+			errs[i] = sfm.ErrNotFound
+			continue
+		}
+		g.finishSwapIn(now, p.ID, cls[i], offload)
+	}
+	return errs
+}

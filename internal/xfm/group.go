@@ -36,9 +36,14 @@ type GroupBackend struct {
 	offloads  int64
 	fallbacks int64
 	cpuCycles float64
+	workers   int // batch parallelism bound (0 = GOMAXPROCS)
 
 	stats groupStats
 }
+
+// SetWorkers bounds the goroutines SwapOutBatch/SwapInBatch use for
+// (de)compression (0, the default, means GOMAXPROCS).
+func (g *GroupBackend) SetWorkers(n int) { g.workers = n }
 
 type groupStats struct {
 	swapOuts, swapIns int64
@@ -103,6 +108,16 @@ func (g *GroupBackend) SwapOut(now dram.Ps, id sfm.PageID, data []byte) error {
 		return sfm.ErrExists
 	}
 	cl := g.layout.CompressPage(data, g.newCodec)
+	return g.placeCompressed(now, id, cl)
+}
+
+// placeCompressed stores an already-compressed page and submits the
+// per-DIMM offload requests — the serial bookkeeping half of SwapOut,
+// shared with SwapOutBatch (whose compression runs in parallel).
+func (g *GroupBackend) placeCompressed(now dram.Ps, id sfm.PageID, cl CompressedLayout) error {
+	if _, dup := g.slots[id]; dup {
+		return sfm.ErrExists
+	}
 	if g.reservedBytes+int64(cl.SlotBytes) > g.perDIMMRegion {
 		return sfm.ErrFull
 	}
@@ -152,11 +167,20 @@ func (g *GroupBackend) SwapIn(now dram.Ps, id sfm.PageID, dst []byte, offload bo
 	if !ok {
 		return sfm.ErrNotFound
 	}
-	page, err := g.layout.DecompressPage(cl, g.newCodec, sfm.PageSize)
-	if err != nil {
+	// Decompress and gather straight into dst (the specialized CPU
+	// fallback "handles both decompression and gathering operations
+	// without additional memory copies", §6).
+	if _, err := g.layout.DecompressPageInto(dst[:0], cl, g.newCodec, sfm.PageSize); err != nil {
 		return err
 	}
-	copy(dst, page)
+	g.finishSwapIn(now, id, cl, offload)
+	return nil
+}
+
+// finishSwapIn removes a decompressed page's slot and submits the
+// per-DIMM offload requests — the serial bookkeeping half of SwapIn,
+// shared with SwapInBatch.
+func (g *GroupBackend) finishSwapIn(now dram.Ps, id sfm.PageID, cl CompressedLayout, offload bool) {
 	delete(g.slots, id)
 	g.reservedBytes -= int64(cl.SlotBytes)
 	g.stats.swapIns++
@@ -172,7 +196,7 @@ func (g *GroupBackend) SwapIn(now dram.Ps, id sfm.PageID, dst []byte, offload bo
 		for _, d := range g.drivers {
 			d.AdvanceTo(now)
 		}
-		return nil
+		return
 	}
 	allOK := true
 	for _, d := range g.drivers {
@@ -192,7 +216,6 @@ func (g *GroupBackend) SwapIn(now dram.Ps, id sfm.PageID, dst []byte, offload bo
 		g.fallbacks++
 		g.cpuCycles += g.codec.Info().DecompressCyclesPerByte * sfm.PageSize
 	}
-	return nil
 }
 
 // Contains implements sfm.Backend.

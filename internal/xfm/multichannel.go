@@ -57,6 +57,17 @@ func (l MultiChannelLayout) Split(page []byte) [][]byte {
 	for i := range parts {
 		parts[i] = make([]byte, 0, len(page)/l.DIMMs+l.InterleaveBytes)
 	}
+	return l.SplitInto(parts, page)
+}
+
+// SplitInto is Split appending into caller-provided part buffers (one
+// per DIMM, each typically length 0 with retained capacity — e.g. from
+// compress.Scratch.Parts). The hot path uses it to stage the
+// interleave split without allocating.
+func (l MultiChannelLayout) SplitInto(parts [][]byte, page []byte) [][]byte {
+	if len(parts) != l.DIMMs {
+		panic(fmt.Sprintf("xfm: SplitInto got %d parts, layout has %d DIMMs", len(parts), l.DIMMs))
+	}
 	for off, i := 0, 0; off < len(page); off, i = off+l.InterleaveBytes, i+1 {
 		end := off + l.InterleaveBytes
 		if end > len(page) {
@@ -72,15 +83,28 @@ func (l MultiChannelLayout) Split(page []byte) [][]byte {
 // It is the inverse of Split for any page whose length is a multiple
 // of InterleaveBytes.
 func (l MultiChannelLayout) Gather(parts [][]byte) []byte {
-	if len(parts) != l.DIMMs {
-		panic(fmt.Sprintf("xfm: Gather got %d parts, layout has %d DIMMs", len(parts), l.DIMMs))
-	}
 	var total int
 	for _, p := range parts {
 		total += len(p)
 	}
-	page := make([]byte, 0, total)
-	offsets := make([]int, l.DIMMs)
+	return l.GatherInto(make([]byte, 0, total), parts)
+}
+
+// GatherInto is Gather appending into page (typically a reused buffer
+// resliced to length 0).
+func (l MultiChannelLayout) GatherInto(page []byte, parts [][]byte) []byte {
+	if len(parts) != l.DIMMs {
+		panic(fmt.Sprintf("xfm: Gather got %d parts, layout has %d DIMMs", len(parts), l.DIMMs))
+	}
+	// Real layouts interleave over 1-4 DIMMs; keep the cursor array on
+	// the stack so GatherInto stays allocation-free.
+	var offbuf [8]int
+	var offsets []int
+	if l.DIMMs <= len(offbuf) {
+		offsets = offbuf[:l.DIMMs]
+	} else {
+		offsets = make([]int, l.DIMMs)
+	}
 	for i := 0; ; i++ {
 		d := i % l.DIMMs
 		off := offsets[d]
@@ -132,8 +156,12 @@ func (c CompressedLayout) FragmentationBytes() int {
 // CompressPage compresses a page in multi-channel mode with the given
 // codec constructor, which receives the per-DIMM window size (the
 // codec's match window shrinks with the page share each DIMM sees).
+// The interleave split is staged in pooled scratch; only the returned
+// compressed parts are allocated (they are stored durably).
 func (l MultiChannelLayout) CompressPage(page []byte, newCodec func(window int) compress.Codec) CompressedLayout {
-	parts := l.Split(page)
+	s := compress.GetScratch()
+	defer s.Release()
+	parts := l.SplitInto(s.Parts(l.DIMMs), page)
 	window := l.WindowBytes(len(page))
 	if window < 1 {
 		window = 1
@@ -151,14 +179,27 @@ func (l MultiChannelLayout) CompressPage(page []byte, newCodec func(window int) 
 
 // DecompressPage reverses CompressPage.
 func (l MultiChannelLayout) DecompressPage(c CompressedLayout, newCodec func(window int) compress.Codec, pageBytes int) ([]byte, error) {
+	return l.DecompressPageInto(make([]byte, 0, pageBytes), c, newCodec, pageBytes)
+}
+
+// DecompressPageInto is DecompressPage appending the reassembled page
+// into dst (typically a reused buffer resliced to length 0). The
+// per-DIMM decompressed parts are staged in pooled scratch, so the
+// only allocation on a warmed path is dst's own growth.
+func (l MultiChannelLayout) DecompressPageInto(dst []byte, c CompressedLayout, newCodec func(window int) compress.Codec, pageBytes int) ([]byte, error) {
 	codec := newCodec(l.WindowBytes(pageBytes))
-	parts := make([][]byte, len(c.Parts))
+	s := compress.GetScratch()
+	defer s.Release()
+	parts := s.Parts(len(c.Parts))
 	for i, p := range c.Parts {
-		out, err := codec.Decompress(nil, p)
+		out, err := codec.Decompress(parts[i], p)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		parts[i] = out
 	}
-	return l.Gather(parts), nil
+	if len(parts) != l.DIMMs {
+		return dst, fmt.Errorf("xfm: layout has %d DIMMs, compressed page has %d parts", l.DIMMs, len(parts))
+	}
+	return l.GatherInto(dst, parts), nil
 }
