@@ -5,6 +5,8 @@
 // Usage:
 //
 //	dramsim [-trace FILE] [-binary] [-channels N] [-ranks N] [-device 8|16|32]
+//	        [-metrics-out FILE] [-trace-out FILE] [-pprof ADDR]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // Without -trace it generates the default web front-end trace
 // internally.
@@ -19,6 +21,7 @@ import (
 	"xfm/internal/dram"
 	"xfm/internal/memctrl"
 	"xfm/internal/sfm"
+	"xfm/internal/telemetry"
 	"xfm/internal/trace"
 	"xfm/internal/workload"
 )
@@ -30,7 +33,14 @@ func main() {
 	ranks := flag.Int("ranks", 2, "ranks per channel")
 	device := flag.Int("device", 32, "DRAM chip capacity in Gbit (8, 16, 32)")
 	queued := flag.Bool("queued", false, "route requests through the FR-FCFS queued controller")
+	var tel telemetry.CLI
+	tel.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := tel.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	var dev dram.DeviceConfig
 	switch *device {
@@ -137,4 +147,9 @@ func main() {
 		}
 	}
 	fmt.Printf("refresh commands issued: %d\n", refs)
+
+	if err := tel.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

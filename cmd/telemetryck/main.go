@@ -1,0 +1,195 @@
+// Command telemetryck validates observability artifacts produced by
+// xfmbench/dramsim: a Prometheus text-exposition metrics file and a
+// Chrome trace-event JSON file. CI runs it after a smoke benchmark to
+// keep the telemetry pipeline from silently rotting.
+//
+// Usage:
+//
+//	telemetryck [-metrics FILE] [-trace FILE] [-require name,name,...]
+//	            [-require-nesting]
+//
+// -require lists metric names that must appear with at least one
+// sample. -require-nesting demands that the trace contains at least one
+// NMA compress/decompress span strictly nested inside a refresh-window
+// span on the same track (the paper's core claim, rendered on the
+// timeline).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "telemetryck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// checkMetrics parses a Prometheus text-format file: every non-comment
+// line must be `name{labels} value` or `name value`, every HELP/TYPE
+// comment well-formed. Returns the set of sample metric names, with
+// histogram suffixes (_bucket/_sum/_count) folded onto the base name.
+func checkMetrics(path string) map[string]int {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+
+	names := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.Fields(line)
+			if len(parts) < 4 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				fail("%s:%d: malformed comment %q", path, lineNo, line)
+			}
+			continue
+		}
+		// Sample line: name[{label="value"}] value
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if name == "" {
+			fail("%s:%d: empty metric name", path, lineNo)
+		}
+		rest := line[len(name):]
+		if i := strings.LastIndex(rest, " "); i >= 0 {
+			val := rest[i+1:]
+			if val == "" {
+				fail("%s:%d: missing value", path, lineNo)
+			}
+		} else {
+			fail("%s:%d: no value on sample line", path, lineNo)
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count", "_p50", "_p95", "_p99"} {
+			if strings.HasSuffix(name, suf) {
+				name = strings.TrimSuffix(name, suf)
+				break
+			}
+		}
+		names[name]++
+	}
+	if err := sc.Err(); err != nil {
+		fail("%s: %v", path, err)
+	}
+	if len(names) == 0 {
+		fail("%s: no samples found", path)
+	}
+	return names
+}
+
+// traceEvent is the subset of the Chrome trace-event schema we check.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// checkTrace parses the Chrome trace JSON and, when requireNesting is
+// set, verifies at least one cat="nma" span lies strictly inside a
+// refresh-window span on the same tid.
+func checkTrace(path string, requireNesting bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fail("%s: invalid JSON: %v", path, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		fail("%s: no trace events", path)
+	}
+	var windows, nmaSpans []traceEvent
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		switch {
+		case ev.Name == "refresh-window":
+			windows = append(windows, ev)
+		case ev.Cat == "nma":
+			nmaSpans = append(nmaSpans, ev)
+		}
+	}
+	if !requireNesting {
+		fmt.Printf("trace ok: %d events\n", len(tf.TraceEvents))
+		return
+	}
+	if len(windows) == 0 {
+		fail("%s: no refresh-window spans", path)
+	}
+	if len(nmaSpans) == 0 {
+		fail("%s: no nma spans", path)
+	}
+	// Timestamps are picoseconds rendered as fractional microseconds, so
+	// spans that share a window's edge can differ by a float ulp; one
+	// picosecond of slack keeps the containment test exact in spirit.
+	const eps = 1e-6
+	nested := 0
+	for _, s := range nmaSpans {
+		for _, w := range windows {
+			if s.Tid == w.Tid && s.Ts >= w.Ts-eps && s.Ts+s.Dur <= w.Ts+w.Dur+eps {
+				nested++
+				break
+			}
+		}
+	}
+	if nested == 0 {
+		fail("%s: no nma span nests inside a refresh-window span", path)
+	}
+	fmt.Printf("trace ok: %d events, %d refresh windows, %d/%d nma spans nested\n",
+		len(tf.TraceEvents), len(windows), nested, len(nmaSpans))
+}
+
+func main() {
+	metrics := flag.String("metrics", "", "Prometheus text metrics file to validate")
+	traceOut := flag.String("trace", "", "Chrome trace-event JSON file to validate")
+	require := flag.String("require", "", "comma-separated metric names that must be present")
+	requireNesting := flag.Bool("require-nesting", false, "require nma spans nested in refresh-window spans")
+	flag.Parse()
+
+	if *metrics == "" && *traceOut == "" {
+		fail("nothing to check: pass -metrics and/or -trace")
+	}
+	if *metrics != "" {
+		names := checkMetrics(*metrics)
+		if *require != "" {
+			var missing []string
+			for _, want := range strings.Split(*require, ",") {
+				want = strings.TrimSpace(want)
+				if want != "" && names[want] == 0 {
+					missing = append(missing, want)
+				}
+			}
+			if len(missing) > 0 {
+				fail("%s: required metrics missing: %s", *metrics, strings.Join(missing, ", "))
+			}
+		}
+		fmt.Printf("metrics ok: %d metric names\n", len(names))
+	}
+	if *traceOut != "" {
+		checkTrace(*traceOut, *requireNesting)
+	}
+}

@@ -5,7 +5,9 @@
 //
 // Usage:
 //
-//	xfmbench [-csv] [-list] [-j N] [experiment ...]
+//	xfmbench [-csv] [-list] [-j N] [-metrics-out FILE] [-trace-out FILE]
+//	         [-pprof ADDR] [-cpuprofile FILE] [-memprofile FILE]
+//	         [experiment ...]
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"time"
 
 	"xfm/internal/experiments"
+	"xfm/internal/telemetry"
 )
 
 func main() {
@@ -24,7 +27,14 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	outDir := flag.String("out", "", "also write each experiment's table as CSV into this directory")
 	jobs := flag.Int("j", 0, "experiments to run in parallel (0 = GOMAXPROCS, 1 = serial); tables are identical at any setting")
+	var tel telemetry.CLI
+	tel.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := tel.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -75,5 +85,10 @@ func main() {
 			}
 			fmt.Printf("(%s in %v)\n\n", e.ID, r.Elapsed.Round(time.Millisecond))
 		}
+	}
+
+	if err := tel.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

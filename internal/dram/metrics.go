@@ -1,0 +1,14 @@
+package dram
+
+import "xfm/internal/telemetry"
+
+// Process-wide DRAM metrics: refresh pressure is the resource the whole
+// paper trades on (NMA compute is hidden under tRFC), so the rank layer
+// exports how many all-bank refreshes fired and how long ranks spent
+// locked out.
+var (
+	mREFs = telemetry.NewCounter("dram_refs_total",
+		"All-bank REF commands issued across every rank.")
+	mRefreshLockPs = telemetry.NewCounter("dram_refresh_lock_ps_total",
+		"Total picoseconds ranks spent locked by refresh (tRFC windows).")
+)

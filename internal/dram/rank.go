@@ -1,6 +1,10 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"xfm/internal/telemetry"
+)
 
 // Rank models one DRAM rank: a set of banks acting in lockstep across
 // the chips of the rank, plus the all-bank auto-refresh state machine
@@ -16,6 +20,9 @@ type Rank struct {
 	lockedUntil Ps // end of the current tRFC window, 0 when unlocked
 
 	stats RankStats
+
+	tracer   *telemetry.Tracer
+	telTrack int
 }
 
 // RankStats aggregates rank-level counters.
@@ -40,7 +47,16 @@ func NewRank(cfg DeviceConfig, t Timings) *Rank {
 		t:         t,
 		banks:     make([]Bank, cfg.BanksPerChip),
 		nextREFAt: t.TREFI,
+		tracer:    telemetry.DefaultTracer(),
+		telTrack:  -1,
 	}
+}
+
+// SetTracer redirects this rank's refresh spans to tr (nil disables
+// them); the default is the process-wide tracer.
+func (r *Rank) SetTracer(tr *telemetry.Tracer) {
+	r.tracer = tr
+	r.telTrack = -1
 }
 
 // Config returns the rank's device configuration.
@@ -135,6 +151,18 @@ func (r *Rank) refreshAt(start Ps) RefreshWindow {
 	r.lockedUntil = end
 	r.stats.REFs++
 	r.stats.RefreshLockPs += r.t.TRFC
+	mREFs.Inc()
+	mRefreshLockPs.Add(int64(r.t.TRFC))
+	if r.tracer != nil && r.tracer.Enabled() {
+		if r.telTrack < 0 {
+			r.telTrack = r.tracer.NewTrack("dram-rank")
+		}
+		r.tracer.Span(r.telTrack, "refresh", "dram", int64(start), int64(end), map[string]int64{
+			"ref":    int64(w.Ref),
+			"row_lo": int64(lo),
+			"row_hi": int64(hi),
+		})
+	}
 	return w
 }
 

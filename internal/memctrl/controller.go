@@ -173,6 +173,12 @@ func (ctl *Controller) Submit(req Request) dram.Ps {
 	if lat > st.MaxLatPs {
 		st.MaxLatPs = lat
 	}
+	if req.Kind == dram.Read {
+		mReqReads.Inc()
+	} else {
+		mReqWrites.Inc()
+	}
+	hReqLatency.Observe(float64(lat))
 	return last
 }
 

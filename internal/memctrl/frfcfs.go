@@ -61,16 +61,20 @@ func (q *QueuedController) Enqueue(req Request) bool {
 	if req.Kind == dram.Read {
 		if len(q.readQ) >= q.ReadQueueDepth {
 			q.stats.ReadQueueFullStalls++
+			mReadStalls.Inc()
 			return false
 		}
 		q.readQ = append(q.readQ, req)
+		gReadQueue.SetInt(int64(len(q.readQ)))
 		return true
 	}
 	if len(q.writeQ) >= q.WriteQueueDepth {
 		q.stats.WriteQueueFullStalls++
+		mWriteStalls.Inc()
 		return false
 	}
 	q.writeQ = append(q.writeQ, req)
+	gWriteQueue.SetInt(int64(len(q.writeQ)))
 	return true
 }
 
@@ -118,6 +122,7 @@ func (q *QueuedController) ServeOne() (dram.Ps, bool) {
 		req := q.writeQ[i]
 		q.writeQ = append(q.writeQ[:i], q.writeQ[i+1:]...)
 		q.stats.WritesServed++
+		gWriteQueue.SetInt(int64(len(q.writeQ)))
 		return q.inner.Submit(req), true
 	}
 	if len(q.readQ) > 0 {
@@ -125,6 +130,7 @@ func (q *QueuedController) ServeOne() (dram.Ps, bool) {
 		req := q.readQ[i]
 		q.readQ = append(q.readQ[:i], q.readQ[i+1:]...)
 		q.stats.ReadsServed++
+		gReadQueue.SetInt(int64(len(q.readQ)))
 		return q.inner.Submit(req), true
 	}
 	return 0, false

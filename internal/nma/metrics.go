@@ -1,0 +1,47 @@
+package nma
+
+import "xfm/internal/telemetry"
+
+// Process-wide NMA metrics (aggregated across every Sim in the
+// process). The per-window counters are bumped in bulk at the end of
+// StepWindow so the hot loop stays a handful of atomic adds per tRFC,
+// and nma_slot_utilization is derived at export time from the offered
+// and consumed slot counters — the Fig. 6/Fig. 12 "how much of the
+// refresh side channel did the workload consume" number.
+var (
+	mWindows = telemetry.NewCounter("nma_windows_total",
+		"Refresh windows (tRFC) the NMA simulators stepped through.")
+	mBusyWindows = telemetry.NewCounter("nma_busy_windows_total",
+		"Refresh windows that carried at least one NMA access.")
+	mCondAccesses = telemetry.NewCounter("nma_conditional_accesses_total",
+		"Conditional (refresh-parallel, zero activation cost) accesses performed.")
+	mRandAccesses = telemetry.NewCounter("nma_random_accesses_total",
+		"Random accesses performed: slots stolen from the one-per-tRFC budget.")
+	mSlotsOffered = telemetry.NewCounter("nma_slots_offered_total",
+		"Access slots offered across all windows (conditional budget + random budget per tRFC).")
+	mSubmitted = telemetry.NewCounter("nma_requests_submitted_total",
+		"Offload requests offered to the Compress_Request_Queue.")
+	mRejected = telemetry.NewCounter("nma_requests_rejected_total",
+		"Offload requests rejected by queue back-pressure (driver falls back to the CPU).")
+	mCompleted = telemetry.NewCounter("nma_requests_completed_total",
+		"Offload requests fully written back to DRAM.")
+	hLatency = telemetry.NewHistogram("nma_offload_latency_ps",
+		"Offload completion latency (submission to write-back) in simulated picoseconds.",
+		telemetry.ExpBuckets(1e6, 2, 18))
+	gQueueDepth = telemetry.NewGauge("nma_queue_depth",
+		"Current Compress_Request_Queue depth (last stepped window).")
+	gSPMUsed = telemetry.NewGauge("nma_spm_used_bytes",
+		"Current ScratchPad Memory occupancy in bytes (last stepped window).")
+)
+
+func init() {
+	telemetry.NewGaugeFunc("nma_slot_utilization",
+		"Performed accesses over offered access slots across all refresh windows.",
+		func() float64 {
+			offered := mSlotsOffered.Value()
+			if offered == 0 {
+				return 0
+			}
+			return float64(mCondAccesses.Value()+mRandAccesses.Value()) / float64(offered)
+		})
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"xfm/internal/dram"
+	"xfm/internal/telemetry"
 )
 
 // OpKind is the type of an offload operation.
@@ -238,6 +239,22 @@ type Sim struct {
 	queuedCount      int   // live (unserved) queue entries
 
 	stats Stats
+
+	// Span tracing (off unless the tracer is enabled): each busy window
+	// becomes a "refresh-window" span on this sim's track with one
+	// nested compress/decompress span per access performed inside it.
+	tracer  *telemetry.Tracer
+	track   int  // lazily allocated track id, -1 until first span
+	traceOn bool // cached tracer.Enabled() for the current window
+	winAcc  []windowAccess
+}
+
+// windowAccess remembers one access performed in the current window so
+// its span can be laid out once the window's accesses are known.
+type windowAccess struct {
+	o      *op
+	random bool
+	write  bool
 }
 
 // NewSim builds a simulator; it panics on invalid configuration, which
@@ -251,7 +268,17 @@ func NewSim(cfg Config) *Sim {
 		groups:           cfg.Device.RefreshGroups(),
 		queuedByGroup:    map[int][]*op{},
 		completedByGroup: map[int][]*op{},
+		tracer:           telemetry.DefaultTracer(),
+		track:            -1,
 	}
+}
+
+// SetTracer redirects span output to tr (nil disables tracing for this
+// sim); tests inject private tracers here. Sims default to the
+// process-wide telemetry.DefaultTracer.
+func (s *Sim) SetTracer(tr *telemetry.Tracer) {
+	s.tracer = tr
+	s.track = -1
 }
 
 // Config returns the simulator's configuration.
@@ -278,11 +305,13 @@ func (s *Sim) QueueLen() int { return s.queuedCount }
 // queue triggers CPU_Fallback.
 func (s *Sim) Submit(req Request) bool {
 	s.stats.Submitted++
+	mSubmitted.Inc()
 	if req.SrcGroup < 0 || req.SrcGroup >= s.groups || req.DstGroup < -1 || req.DstGroup >= s.groups {
 		panic(fmt.Sprintf("nma: refresh group out of range in %+v", req))
 	}
 	if s.queuedCount >= s.cfg.QueueDepth {
 		s.stats.Fallbacks++
+		mRejected.Inc()
 		return false
 	}
 	o := &op{req: req, state: opQueued}
@@ -318,6 +347,10 @@ func (s *Sim) StepWindow() int {
 	now := s.Now()
 	cond := s.cfg.AccessesPerTRFC
 	rand := s.cfg.RandomPerTRFC
+	s.traceOn = s.tracer != nil && s.tracer.Enabled()
+	if s.traceOn {
+		s.winAcc = s.winAcc[:0]
+	}
 
 	// Engine completions since the last window. The engine finishes a
 	// page within roughly one window (4 KiB at ≥14 GB/s ≪ tREFI), so
@@ -405,12 +438,56 @@ func (s *Sim) StepWindow() int {
 	if s.spmUsed > s.stats.MaxSPMOccupancy {
 		s.stats.MaxSPMOccupancy = s.spmUsed
 	}
-	if performed := (s.cfg.AccessesPerTRFC - cond) + (s.cfg.RandomPerTRFC - rand); performed > 0 {
+	condDone := s.cfg.AccessesPerTRFC - cond
+	randDone := s.cfg.RandomPerTRFC - rand
+	if condDone+randDone > 0 {
 		s.stats.BusyWindows++
+		mBusyWindows.Inc()
+	}
+	mWindows.Inc()
+	mSlotsOffered.Add(int64(s.cfg.AccessesPerTRFC + s.cfg.RandomPerTRFC))
+	mCondAccesses.Add(int64(condDone))
+	mRandAccesses.Add(int64(randDone))
+	gQueueDepth.SetInt(int64(s.queuedCount))
+	gSPMUsed.SetInt(int64(s.spmUsed))
+	if s.traceOn && len(s.winAcc) > 0 {
+		s.emitWindowSpans(group, now)
 	}
 	s.stats.Windows++
 	s.window++
 	return group
+}
+
+// emitWindowSpans records the window that just executed as a
+// "refresh-window" span and tiles the accesses it performed across the
+// tRFC as nested compress/decompress spans, so the Chrome trace shows
+// compression bursts packed inside refresh windows (Fig. 10).
+func (s *Sim) emitWindowSpans(group int, start dram.Ps) {
+	if s.track < 0 {
+		s.track = s.tracer.NewTrack("nma")
+	}
+	end := start + s.cfg.Timings.TRFC
+	s.tracer.Span(s.track, "refresh-window", "dram", start, end, map[string]int64{
+		"group":  int64(group),
+		"window": s.window,
+	})
+	slot := s.cfg.Timings.TRFC / dram.Ps(len(s.winAcc))
+	for i, a := range s.winAcc {
+		phase := int64(0) // read into SPM
+		if a.write {
+			phase = 1 // write-back to DRAM
+		}
+		random := int64(0)
+		if a.random {
+			random = 1
+		}
+		s.tracer.Span(s.track, a.o.req.Kind.String(), "nma",
+			start+dram.Ps(i)*slot, start+dram.Ps(i+1)*slot, map[string]int64{
+				"req":       a.o.req.ID,
+				"random":    random,
+				"writeback": phase,
+			})
+	}
 }
 
 // popCompletedGroup removes and returns the oldest COMPLETED op whose
@@ -499,6 +576,9 @@ func (s *Sim) startRead(o *op, now dram.Ps, random bool) {
 	} else {
 		s.stats.ReadCond++
 	}
+	if s.traceOn {
+		s.winAcc = append(s.winAcc, windowAccess{o: o, random: random})
+	}
 }
 
 // writeBack finishes an op: its output leaves the SPM.
@@ -514,10 +594,15 @@ func (s *Sim) writeBack(o *op, now dram.Ps, random bool) {
 	}
 	o.writeRand = random
 	s.stats.Completed++
+	mCompleted.Inc()
 	lat := now + s.cfg.Timings.TRFC - o.req.Arrive
 	s.stats.SumLatencyPs += lat
+	hLatency.Observe(float64(lat))
 	if lat > s.stats.MaxLatencyPs {
 		s.stats.MaxLatencyPs = lat
+	}
+	if s.traceOn {
+		s.winAcc = append(s.winAcc, windowAccess{o: o, random: random, write: true})
 	}
 }
 

@@ -41,8 +41,11 @@ func ForEach(n, workers int, fn func(i int)) {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		mTasks.Add(int64(n))
 		return
 	}
+	mBatches.Inc()
+	mTasks.Add(int64(n))
 	var (
 		next      atomic.Int64
 		wg        sync.WaitGroup
@@ -51,7 +54,9 @@ func ForEach(n, workers int, fn func(i int)) {
 	)
 	body := func() {
 		defer wg.Done()
+		claimed := 0
 		defer func() {
+			hWorkerTasks.Observe(float64(claimed))
 			if r := recover(); r != nil {
 				panicOnce.Do(func() { panicVal = r })
 			}
@@ -61,6 +66,7 @@ func ForEach(n, workers int, fn func(i int)) {
 			if i >= n {
 				return
 			}
+			claimed++
 			fn(i)
 		}
 	}

@@ -154,6 +154,8 @@ func (b *CPUBackend) SwapOut(now dram.Ps, id PageID, data []byte) error {
 		b.stats.BytesOut += PageSize
 		b.stats.StoredPages++
 		b.stats.SameFilledPages++
+		cSwapOuts.Inc()
+		cSameFilled.Inc()
 		return nil
 	}
 	// Compress into the backend's scratch buffer: zsmalloc copies the
@@ -168,6 +170,7 @@ func (b *CPUBackend) SwapOut(now dram.Ps, id PageID, data []byte) error {
 		stored = data
 		e.stored = false
 		b.stats.IncompressiblePages++
+		cIncompressible.Inc()
 	}
 	h, err := b.alloc.Alloc(stored)
 	if err == zsmalloc.ErrCapacity {
@@ -175,6 +178,7 @@ func (b *CPUBackend) SwapOut(now dram.Ps, id PageID, data []byte) error {
 		// the SFM capacity limit is hit", then retries once.
 		b.alloc.Compact()
 		b.stats.CompactOnFull++
+		cCompactOnFull.Inc()
 		h, err = b.alloc.Alloc(stored)
 	}
 	if err != nil {
@@ -190,6 +194,8 @@ func (b *CPUBackend) SwapOut(now dram.Ps, id PageID, data []byte) error {
 	b.stats.StoredPages++
 	b.stats.CompressedBytes += int64(len(stored))
 	b.stats.CPUCycles += b.codec.Info().CompressCyclesPerByte * PageSize
+	cSwapOuts.Inc()
+	hCompressedBytes.Observe(float64(len(stored)))
 	return nil
 }
 
@@ -211,6 +217,7 @@ func (b *CPUBackend) SwapIn(now dram.Ps, id PageID, dst []byte, offload bool) er
 		b.stats.SwapIns++
 		b.stats.BytesIn += PageSize
 		b.stats.StoredPages--
+		cSwapIns.Inc()
 		return nil
 	}
 	raw, err := b.alloc.Get(b.scratch.Raw[:0], e.handle)
@@ -238,6 +245,7 @@ func (b *CPUBackend) SwapIn(now dram.Ps, id PageID, dst []byte, offload bool) er
 	b.stats.StoredPages--
 	b.stats.CompressedBytes -= int64(len(raw))
 	b.stats.CPUCycles += b.codec.Info().DecompressCyclesPerByte * PageSize
+	cSwapIns.Inc()
 	return nil
 }
 

@@ -42,6 +42,7 @@ func FirstError(errs []error) error {
 // serially — it owns one scratch buffer and one zsmalloc region, so
 // the batch is a loop. ShardedBackend supplies the parallel version.
 func (b *CPUBackend) SwapOutBatch(now dram.Ps, pages []PageOut) []error {
+	hBatchPages.Observe(float64(len(pages)))
 	errs := make([]error, len(pages))
 	for i, p := range pages {
 		errs[i] = b.SwapOut(now, p.ID, p.Data)
@@ -51,6 +52,7 @@ func (b *CPUBackend) SwapOutBatch(now dram.Ps, pages []PageOut) []error {
 
 // SwapInBatch implements Backend.
 func (b *CPUBackend) SwapInBatch(now dram.Ps, pages []PageIn, offload bool) []error {
+	hBatchPages.Observe(float64(len(pages)))
 	errs := make([]error, len(pages))
 	for i, p := range pages {
 		errs[i] = b.SwapIn(now, p.ID, p.Dst, offload)

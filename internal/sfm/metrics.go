@@ -1,0 +1,33 @@
+package sfm
+
+import "xfm/internal/telemetry"
+
+// Process-wide SFM metrics: swap counts and the compressibility
+// profile of swapped pages (the §3 cost model's inputs), batch fan-out,
+// and per-shard occupancy for the sharded store. The counters are
+// bumped on the per-page swap paths; at a handful of uncontended
+// atomic adds next to a 4 KiB (de)compression they are invisible in
+// profiles (see BenchmarkBatchSwapOutParallel).
+var (
+	cSwapOuts = telemetry.NewCounter("sfm_swap_outs_total",
+		"Pages compressed into far memory (swapOut calls that succeeded).")
+	cSwapIns = telemetry.NewCounter("sfm_swap_ins_total",
+		"Pages decompressed out of far memory (swapIn calls that succeeded).")
+	cSameFilled = telemetry.NewCounter("sfm_same_filled_total",
+		"Swap-outs stored as a single fill word (zswap's same-filled-page path).")
+	cIncompressible = telemetry.NewCounter("sfm_incompressible_total",
+		"Swap-outs stored raw because compression did not shrink the page.")
+	cCompactOnFull = telemetry.NewCounter("sfm_compact_on_full_total",
+		"Capacity-triggered internal compactions (§6).")
+	hCompressedBytes = telemetry.NewHistogram("sfm_compressed_page_bytes",
+		"Stored bytes per compressed page (excludes same-filled pages).",
+		telemetry.LinearBuckets(256, 256, 16))
+	hBatchPages = telemetry.NewHistogram("sfm_batch_pages",
+		"Pages per SwapOutBatch/SwapInBatch call into the SFM store.",
+		telemetry.ExpBuckets(1, 2, 13))
+	hShardBatchPages = telemetry.NewHistogram("sfm_shard_batch_pages",
+		"Pages routed to one shard by one batch (fan-out balance).",
+		telemetry.ExpBuckets(1, 2, 13))
+	gShardStoredPages = telemetry.NewGaugeVec("sfm_shard_stored_pages",
+		"Pages currently stored per shard of the sharded backend.", "shard")
+)

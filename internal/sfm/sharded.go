@@ -1,11 +1,13 @@
 package sfm
 
 import (
+	"strconv"
 	"sync"
 
 	"xfm/internal/compress"
 	"xfm/internal/dram"
 	"xfm/internal/parallel"
+	"xfm/internal/telemetry"
 )
 
 // ShardedBackend partitions the far-memory region across several
@@ -28,6 +30,10 @@ type ShardedBackend struct {
 type backendShard struct {
 	mu sync.Mutex
 	b  *CPUBackend
+	// stored mirrors the shard's StoredPages into the
+	// sfm_shard_stored_pages{shard} gauge; cached here so the batch
+	// path never takes the registry's label lookup.
+	stored *telemetry.Gauge
 	// pad spaces the shard locks apart so they do not false-share a
 	// cache line when every worker is spinning on a different shard.
 	_ [64]byte
@@ -57,6 +63,7 @@ func NewShardedBackend(codec compress.Codec, regionBytes int64, nShards, workers
 	}
 	for i := range s.shards {
 		s.shards[i].b = NewCPUBackend(codec, perShard)
+		s.shards[i].stored = gShardStoredPages.With(strconv.Itoa(i))
 	}
 	return s
 }
@@ -85,7 +92,9 @@ func (s *ShardedBackend) SwapOut(now dram.Ps, id PageID, data []byte) error {
 	sh := s.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.b.SwapOut(now, id, data)
+	err := sh.b.SwapOut(now, id, data)
+	sh.stored.SetInt(sh.b.stats.StoredPages)
+	return err
 }
 
 // SwapIn implements Backend.
@@ -93,7 +102,9 @@ func (s *ShardedBackend) SwapIn(now dram.Ps, id PageID, dst []byte, offload bool
 	sh := s.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.b.SwapIn(now, id, dst, offload)
+	err := sh.b.SwapIn(now, id, dst, offload)
+	sh.stored.SetInt(sh.b.stats.StoredPages)
+	return err
 }
 
 // plan groups batch element indexes by destination shard, so each
@@ -114,6 +125,7 @@ func (s *ShardedBackend) plan(n int, shardOf func(i int) int) [][]int {
 // time, so the per-shard scratch buffer and page table see no
 // concurrent access.
 func (s *ShardedBackend) SwapOutBatch(now dram.Ps, pages []PageOut) []error {
+	hBatchPages.Observe(float64(len(pages)))
 	errs := make([]error, len(pages))
 	byShard := s.plan(len(pages), func(i int) int { return s.shardIndex(pages[i].ID) })
 	parallel.ForEach(len(s.shards), s.workers, func(si int) {
@@ -121,18 +133,21 @@ func (s *ShardedBackend) SwapOutBatch(now dram.Ps, pages []PageOut) []error {
 		if len(idxs) == 0 {
 			return
 		}
+		hShardBatchPages.Observe(float64(len(idxs)))
 		sh := &s.shards[si]
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 		for _, i := range idxs {
 			errs[i] = sh.b.SwapOut(now, pages[i].ID, pages[i].Data)
 		}
+		sh.stored.SetInt(sh.b.stats.StoredPages)
 	})
 	return errs
 }
 
 // SwapInBatch implements Backend.
 func (s *ShardedBackend) SwapInBatch(now dram.Ps, pages []PageIn, offload bool) []error {
+	hBatchPages.Observe(float64(len(pages)))
 	errs := make([]error, len(pages))
 	byShard := s.plan(len(pages), func(i int) int { return s.shardIndex(pages[i].ID) })
 	parallel.ForEach(len(s.shards), s.workers, func(si int) {
@@ -140,12 +155,14 @@ func (s *ShardedBackend) SwapInBatch(now dram.Ps, pages []PageIn, offload bool) 
 		if len(idxs) == 0 {
 			return
 		}
+		hShardBatchPages.Observe(float64(len(idxs)))
 		sh := &s.shards[si]
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 		for _, i := range idxs {
 			errs[i] = sh.b.SwapIn(now, pages[i].ID, pages[i].Dst, offload)
 		}
+		sh.stored.SetInt(sh.b.stats.StoredPages)
 	})
 	return errs
 }

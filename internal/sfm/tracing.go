@@ -2,6 +2,7 @@ package sfm
 
 import (
 	"xfm/internal/dram"
+	"xfm/internal/telemetry"
 	"xfm/internal/trace"
 )
 
@@ -10,21 +11,55 @@ import (
 // ("Swap-in/out traces are generated using the AIFM userspace far
 // memory framework", §7). Demand swap-ins and offloadable prefetches
 // are distinguished by the offload hint.
+//
+// The record path doubles as a telemetry capture point: when the
+// configured span tracer is enabled, every swap operation is also
+// emitted as an instant event on a "swap" track, so the trace.Writer
+// file and the Chrome-trace timeline export are fed by one code path.
 type TracingBackend struct {
 	inner Backend
 	recs  []trace.Record
+
+	tracer *telemetry.Tracer
+	track  int
 }
 
 // NewTracingBackend wraps inner.
 func NewTracingBackend(inner Backend) *TracingBackend {
-	return &TracingBackend{inner: inner}
+	return NewTracingBackendCapacity(inner, 0)
 }
 
-// record appends one swap record.
+// NewTracingBackendCapacity wraps inner with room for capacity records
+// preallocated, so long captures append without growing the slice.
+func NewTracingBackendCapacity(inner Backend, capacity int) *TracingBackend {
+	t := &TracingBackend{inner: inner, tracer: telemetry.DefaultTracer(), track: -1}
+	if capacity > 0 {
+		t.recs = make([]trace.Record, 0, capacity)
+	}
+	return t
+}
+
+// SetTracer redirects the telemetry mirror to tr (nil disables it);
+// tests inject private tracers here.
+func (t *TracingBackend) SetTracer(tr *telemetry.Tracer) {
+	t.tracer = tr
+	t.track = -1
+}
+
+// record appends one swap record and mirrors it into the span tracer.
 func (t *TracingBackend) record(now dram.Ps, op trace.Op, id PageID) {
 	t.recs = append(t.recs, trace.Record{
 		AtPs: int64(now), Op: op, PageID: int64(id), Bytes: PageSize,
 	})
+	if t.tracer != nil && t.tracer.Enabled() {
+		if t.track < 0 {
+			t.track = t.tracer.NewTrack("swap")
+		}
+		t.tracer.Instant(t.track, "swap-"+op.String(), "swap", int64(now), map[string]int64{
+			"page":  int64(id),
+			"bytes": PageSize,
+		})
+	}
 }
 
 // SwapOut implements Backend.
@@ -61,6 +96,10 @@ func (t *TracingBackend) Stats() BackendStats { return t.inner.Stats() }
 // Trace returns the records captured so far (shared slice; callers
 // must not mutate).
 func (t *TracingBackend) Trace() []trace.Record { return t.recs }
+
+// Reset discards the captured records, keeping the allocated capacity
+// for the next capture.
+func (t *TracingBackend) Reset() { t.recs = t.recs[:0] }
 
 // WriteTrace drains the captured records into w and clears the buffer.
 func (t *TracingBackend) WriteTrace(w *trace.Writer) error {

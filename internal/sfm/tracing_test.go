@@ -6,6 +6,7 @@ import (
 
 	"xfm/internal/compress"
 	"xfm/internal/dram"
+	"xfm/internal/telemetry"
 	"xfm/internal/trace"
 )
 
@@ -67,5 +68,64 @@ func TestTracingBackendWriteTrace(t *testing.T) {
 	recs, err := trace.ReadAll(trace.NewReader(&buf))
 	if err != nil || len(recs) != 1 {
 		t.Fatalf("read back %d records, %v", len(recs), err)
+	}
+}
+
+func TestTracingBackendResetAndCapacity(t *testing.T) {
+	tb := NewTracingBackendCapacity(newBackend(), 128)
+	if cap(tb.Trace()) < 128 {
+		t.Errorf("preallocated cap = %d, want ≥ 128", cap(tb.Trace()))
+	}
+	h := NewHeap(tb)
+	id := h.Alloc(0, []byte("x"))
+	if err := h.SwapOut(dram.Microsecond, id); err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Trace()) != 1 {
+		t.Fatalf("records = %d, want 1", len(tb.Trace()))
+	}
+	tb.Reset()
+	if len(tb.Trace()) != 0 {
+		t.Error("Reset left records behind")
+	}
+	if cap(tb.Trace()) < 128 {
+		t.Error("Reset dropped the preallocated capacity")
+	}
+	if _, err := h.Touch(2*dram.Microsecond, id); err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Trace()) != 1 {
+		t.Error("capture after Reset did not record")
+	}
+}
+
+func TestTracingBackendEmitsTelemetrySpans(t *testing.T) {
+	tr := telemetry.NewTracer()
+	tr.SetEnabled(true)
+	tb := NewTracingBackend(newBackend())
+	tb.SetTracer(tr)
+	h := NewHeap(tb)
+	id := h.Alloc(0, []byte("traced"))
+	if err := h.SwapOut(dram.Microsecond, id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Touch(2*dram.Microsecond, id); err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Name != "swap-"+trace.SwapOut.String() || !spans[0].Instant {
+		t.Errorf("span[0] = %+v", spans[0])
+	}
+	if spans[0].Args["page"] != int64(id) || spans[0].Args["bytes"] != PageSize {
+		t.Errorf("span[0] args = %v", spans[0].Args)
+	}
+	// A disabled tracer must cost nothing and record nothing.
+	tr.SetEnabled(false)
+	h.SwapOut(3*dram.Microsecond, id)
+	if tr.Len() != 2 {
+		t.Errorf("disabled tracer recorded spans: %d", tr.Len())
 	}
 }

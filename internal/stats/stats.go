@@ -51,8 +51,14 @@ type Histogram struct {
 	sorted  bool
 }
 
-// Observe records one sample.
+// Observe records one sample. NaN is dropped: a NaN sample has no rank,
+// so keeping it would poison every order statistic (sort.Float64s
+// leaves NaNs in unspecified positions). ±Inf are legitimate extreme
+// samples and are kept.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	h.samples = append(h.samples, v)
 	h.sorted = false
 }
@@ -96,11 +102,12 @@ func (h *Histogram) Max() float64 {
 }
 
 // Quantile returns the q-th quantile (0 ≤ q ≤ 1) using linear
-// interpolation between closest ranks. Returns 0 when empty.
+// interpolation between closest ranks. Returns 0 when empty or when q
+// is NaN; q outside [0, 1] clamps to the extreme samples.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.sort()
 	n := len(h.samples)
-	if n == 0 {
+	if n == 0 || math.IsNaN(q) {
 		return 0
 	}
 	if q <= 0 {

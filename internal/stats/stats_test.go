@@ -195,3 +195,71 @@ func TestBarChartEmpty(t *testing.T) {
 		t.Errorf("empty chart output %q", out)
 	}
 }
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(7)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Errorf("Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+	if h.Min() != 7 || h.Max() != 7 || h.Mean() != 7 || h.Stddev() != 0 {
+		t.Errorf("single-sample stats wrong: min=%v max=%v mean=%v stddev=%v",
+			h.Min(), h.Max(), h.Mean(), h.Stddev())
+	}
+}
+
+func TestHistogramDropsNaN(t *testing.T) {
+	var h Histogram
+	h.Observe(math.NaN())
+	if h.N() != 0 {
+		t.Fatalf("NaN sample was kept: N = %d", h.N())
+	}
+	h.Observe(1)
+	h.Observe(math.NaN())
+	h.Observe(3)
+	if h.N() != 2 {
+		t.Fatalf("N = %d, want 2", h.N())
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("median = %v, want 2", got)
+	}
+	if math.IsNaN(h.Sum()) || math.IsNaN(h.Mean()) || math.IsNaN(h.Stddev()) {
+		t.Error("aggregate stats contaminated by NaN")
+	}
+}
+
+func TestHistogramInfSamples(t *testing.T) {
+	var h Histogram
+	h.Observe(math.Inf(1))
+	h.Observe(0)
+	h.Observe(math.Inf(-1))
+	if !math.IsInf(h.Min(), -1) {
+		t.Errorf("Min = %v, want -Inf", h.Min())
+	}
+	if !math.IsInf(h.Max(), 1) {
+		t.Errorf("Max = %v, want +Inf", h.Max())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("median = %v, want 0", got)
+	}
+	if !math.IsInf(h.Quantile(1), 1) || !math.IsInf(h.Quantile(0), -1) {
+		t.Error("extreme quantiles should hit the Inf samples")
+	}
+}
+
+func TestHistogramQuantileEdgeArgs(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	h.Observe(2)
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Errorf("Quantile(NaN) = %v, want 0", got)
+	}
+	if got := h.Quantile(-0.5); got != 1 {
+		t.Errorf("Quantile(-0.5) = %v, want clamp to min 1", got)
+	}
+	if got := h.Quantile(1.5); got != 2 {
+		t.Errorf("Quantile(1.5) = %v, want clamp to max 2", got)
+	}
+}

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CLI bundles the observability flags shared by cmd/xfmbench and
+// cmd/dramsim: metrics/trace file export, a debug HTTP server, and
+// wall-clock CPU/heap profiling that composes with simulated-time
+// tracing.
+type CLI struct {
+	MetricsOut string
+	TraceOut   string
+	TraceBuf   int
+	PprofAddr  string
+	CPUProfile string
+	MemProfile string
+
+	cpuFile *os.File
+}
+
+// RegisterFlags installs the shared flags on fs.
+func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write Prometheus text metrics to this file at exit")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "record simulated-time spans and write Chrome trace-event JSON to this file at exit")
+	fs.IntVar(&c.TraceBuf, "trace-buf", DefaultTraceCapacity, "span ring-buffer capacity for -trace-out (oldest spans drop when exceeded)")
+	fs.StringVar(&c.PprofAddr, "pprof", "", "serve /metrics, /debug/vars, /debug/trace and /debug/pprof on this address (e.g. :6060)")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a runtime/pprof CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a runtime/pprof heap profile to this file at exit")
+}
+
+// Start enables tracing, starts profiling, and launches the debug
+// server as requested by the parsed flags.
+func (c *CLI) Start() error {
+	if c.TraceOut != "" {
+		tr := DefaultTracer()
+		tr.SetCapacity(c.TraceBuf)
+		tr.SetEnabled(true)
+	}
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		c.cpuFile = f
+	}
+	if c.PprofAddr != "" {
+		go func() {
+			if err := ListenAndServe(c.PprofAddr, DefaultRegistry(), DefaultTracer()); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: debug server: %v\n", err)
+			}
+		}()
+	}
+	return nil
+}
+
+// Finish flushes every requested artifact: the Prometheus metrics
+// file, the Chrome trace, the CPU profile, and the heap profile.
+func (c *CLI) Finish() error {
+	if c.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := c.cpuFile.Close(); err != nil {
+			return err
+		}
+		c.cpuFile = nil
+	}
+	if c.MetricsOut != "" {
+		f, err := os.Create(c.MetricsOut)
+		if err != nil {
+			return err
+		}
+		if err := DefaultRegistry().WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if c.TraceOut != "" {
+		DefaultTracer().SetEnabled(false)
+		f, err := os.Create(c.TraceOut)
+		if err != nil {
+			return err
+		}
+		if err := DefaultTracer().WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if c.MemProfile != "" {
+		f, err := os.Create(c.MemProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

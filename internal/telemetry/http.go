@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves the registry in Prometheus text exposition
+// format.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// VarsHandler serves an expvar-style JSON snapshot of the registry.
+func VarsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// TraceHandler serves the tracer's live spans as Chrome trace-event
+// JSON (download and open in chrome://tracing or Perfetto).
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = t.WriteChromeTrace(w)
+	})
+}
+
+// DebugMux builds the debug HTTP surface: /metrics (Prometheus),
+// /debug/vars (JSON snapshot), /debug/trace (Chrome trace JSON), and
+// the standard /debug/pprof endpoints for wall-clock profiling.
+func DebugMux(r *Registry, t *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(r))
+	mux.Handle("/debug/vars", VarsHandler(r))
+	mux.Handle("/debug/trace", TraceHandler(t))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe serves DebugMux on addr (e.g. ":6060"), blocking; run
+// it in a goroutine.
+func ListenAndServe(addr string, r *Registry, t *Tracer) error {
+	return http.ListenAndServe(addr, DebugMux(r, t))
+}

@@ -1,0 +1,251 @@
+// Package telemetry is the unified observability layer of the
+// simulator: a concurrency-safe metrics registry (atomic counters,
+// gauges, and fixed-bucket latency histograms with estimated
+// p50/p95/p99), a lock-cheap span tracer that records simulated-time
+// spans into a bounded ring buffer, and exporters for the Prometheus
+// text exposition format, Chrome trace-event JSON
+// (chrome://tracing / Perfetto), and an expvar-style JSON snapshot.
+//
+// Every package of the offload path (sfm, xfm, nma, dram, memctrl,
+// parallel) records into the process-wide Default registry and
+// DefaultTracer, so a single benchmark run can emit a navigable
+// timeline of compression bursts packed inside refresh windows plus a
+// scrapeable metrics file. All metric types are safe for concurrent
+// use; snapshots taken while writers are active are approximate but
+// race-free.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 for Prometheus counter semantics; this is
+// not enforced on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset zeroes the counter (test/benchmark support).
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// FloatCounter is a monotonically increasing float accumulator
+// (e.g. CPU cycles), updated with a compare-and-swap loop.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add accumulates v.
+func (c *FloatCounter) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Reset zeroes the accumulator.
+func (c *FloatCounter) Reset() { c.bits.Store(0) }
+
+// Gauge is an instantaneous float value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Add shifts the gauge by v.
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Reset zeroes the gauge.
+func (g *Gauge) Reset() { g.bits.Store(0) }
+
+// Histogram is a fixed-bucket histogram with atomic bucket counts. It
+// tracks count, sum, min, and max, and estimates quantiles by linear
+// interpolation inside the bucket containing the target rank. NaN
+// observations are ignored.
+type Histogram struct {
+	bounds []float64 // sorted inclusive upper bounds; implicit +Inf last
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    FloatCounter
+	min    atomic.Uint64 // float bits
+	max    atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	h := &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	h.resetExtrema()
+	return h
+}
+
+func (h *Histogram) resetExtrema() {
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+}
+
+// Observe records one sample. NaN is dropped (it has no rank and would
+// poison sum and quantiles).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v, i.e. le-bucket
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.min.Load()
+		if v >= math.Float64frombits(old) || h.min.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) || h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Min returns the smallest observation, or 0 when empty.
+func (h *Histogram) Min() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.min.Load())
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (h *Histogram) Max() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.max.Load())
+}
+
+// Mean returns Sum/Count, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.Value() / float64(n)
+}
+
+// Buckets returns the upper bounds and the (non-cumulative) per-bucket
+// counts; the final count is the +Inf bucket.
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.bounds, counts
+}
+
+// Quantile estimates the q-th quantile (clamped to [0, 1]) by linear
+// interpolation within the bucket holding the target rank, clamped to
+// the observed [Min, Max]. Returns 0 when empty or when q is NaN.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 || math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(n)
+	lo, hi := h.Min(), h.Max()
+	cum := 0.0
+	lower := lo
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= target {
+			upper := hi
+			if i < len(h.bounds) && h.bounds[i] < upper {
+				upper = h.bounds[i]
+			}
+			if lower < lo {
+				lower = lo
+			}
+			if upper < lower {
+				upper = lower
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (target - cum) / c
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum += c
+		if i < len(h.bounds) {
+			lower = h.bounds[i]
+		}
+	}
+	return hi
+}
+
+// Reset zeroes every bucket, the count, the sum, and the extrema.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Reset()
+	h.resetExtrema()
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start and multiplying by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	bs := make([]float64, n)
+	v := start
+	for i := range bs {
+		bs[i] = v
+		v *= factor
+	}
+	return bs
+}
+
+// LinearBuckets returns n linearly spaced upper bounds starting at
+// start with the given step.
+func LinearBuckets(start, step float64, n int) []float64 {
+	bs := make([]float64, n)
+	for i := range bs {
+		bs[i] = start + float64(i)*step
+	}
+	return bs
+}

@@ -1,0 +1,48 @@
+package telemetry
+
+// Default is the process-wide registry every instrumented package
+// records into; CLIs export it with -metrics-out and serve it with
+// -pprof.
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry returns the process-wide registry.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// defaultTracer is the process-wide span tracer, disabled until a CLI
+// (or test) enables it.
+var defaultTracer = NewTracer()
+
+// DefaultTracer returns the process-wide span tracer.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// NewCounter registers (or fetches) a counter in the default registry.
+func NewCounter(name, help string) *Counter { return defaultRegistry.Counter(name, help) }
+
+// NewFloatCounter registers a float counter in the default registry.
+func NewFloatCounter(name, help string) *FloatCounter {
+	return defaultRegistry.FloatCounter(name, help)
+}
+
+// NewGauge registers a gauge in the default registry.
+func NewGauge(name, help string) *Gauge { return defaultRegistry.Gauge(name, help) }
+
+// NewGaugeFunc registers a derived gauge in the default registry.
+func NewGaugeFunc(name, help string, fn func() float64) {
+	defaultRegistry.GaugeFunc(name, help, fn)
+}
+
+// NewHistogram registers a histogram in the default registry.
+func NewHistogram(name, help string, buckets []float64) *Histogram {
+	return defaultRegistry.Histogram(name, help, buckets)
+}
+
+// NewCounterVec registers a labeled counter family in the default
+// registry.
+func NewCounterVec(name, help, labelKey string) *CounterVec {
+	return defaultRegistry.CounterVec(name, help, labelKey)
+}
+
+// NewGaugeVec registers a labeled gauge family in the default registry.
+func NewGaugeVec(name, help, labelKey string) *GaugeVec {
+	return defaultRegistry.GaugeVec(name, help, labelKey)
+}

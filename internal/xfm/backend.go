@@ -2,6 +2,7 @@ package xfm
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"xfm/internal/compress"
 	"xfm/internal/dram"
@@ -9,6 +10,7 @@ import (
 	"xfm/internal/memctrl"
 	"xfm/internal/nma"
 	"xfm/internal/sfm"
+	"xfm/internal/telemetry"
 )
 
 // Backend is the XFM_Backend of §6: an sfm.Backend whose swap paths
@@ -30,13 +32,18 @@ type Backend struct {
 	// submitted offload still occupies the SPM until a completion-
 	// counter poll (an MMIO read) proves otherwise, so the common-case
 	// submission path touches no hardware registers.
-	completedSeen int64
-	spmSyncs      int64
+	completedSeen atomic.Int64
+	spmSyncs      telemetry.Counter
 
-	nextReq   int64
-	offloads  int64
-	fallbacks int64
-	cpuCycles float64
+	// Mutation of these counters happens only on the serial submission
+	// path (single-page calls and the serial phase of a batch), but
+	// Stats()/ECCStats() may be called from other goroutines while a
+	// batch is in flight, so every counter a snapshot reads is an
+	// atomic telemetry counter.
+	nextReq   int64 // serial-phase only, never read by snapshots
+	offloads  telemetry.Counter
+	fallbacks telemetry.Counter
+	cpuCycles telemetry.FloatCounter
 	codec     compress.Codec
 
 	// Side-band ECC (§4.1): the NMA regenerates the x72 parity bytes
@@ -45,9 +52,9 @@ type Backend struct {
 	// of every stored page and verifies it on swap-in.
 	eccEnabled       bool
 	parity           map[sfm.PageID][]byte
-	parityBytes      int64
-	eccCorrected     int64
-	eccUncorrectable int64
+	parityBytes      telemetry.Counter
+	eccCorrected     telemetry.Counter
+	eccUncorrectable telemetry.Counter
 }
 
 // NewBackend builds an XFM backend. regionBytes limits the SFM region;
@@ -139,7 +146,7 @@ func (b *Backend) SwapOut(now dram.Ps, id sfm.PageID, data []byte) error {
 		// writes back (§4.1: "the NMA calculates the parity bits and
 		// stores them in the ECC DRAM chips, when writing back").
 		b.parity[id] = ecc.PageParity(data)
-		b.parityBytes += int64(len(b.parity[id]))
+		b.parityBytes.Add(int64(len(b.parity[id])))
 	}
 	b.driver.AdvanceTo(now)
 	b.nextReq++
@@ -166,8 +173,7 @@ func (b *Backend) SwapIn(now dram.Ps, id sfm.PageID, dst []byte, offload bool) e
 	if b.eccEnabled {
 		if p, ok := b.parity[id]; ok {
 			corrected, bad := ecc.VerifyPage(dst, p)
-			b.eccCorrected += int64(corrected)
-			b.eccUncorrectable += int64(bad)
+			b.recordECC(corrected, bad)
 			delete(b.parity, id)
 			if bad > 0 {
 				return fmt.Errorf("xfm: page %d has %d uncorrectable ECC words", id, bad)
@@ -176,8 +182,7 @@ func (b *Backend) SwapIn(now dram.Ps, id sfm.PageID, dst []byte, offload bool) e
 	}
 	b.driver.AdvanceTo(now)
 	if !offload {
-		b.fallbacks++
-		b.cpuCycles += b.codec.Info().DecompressCyclesPerByte * sfm.PageSize
+		b.recordFallback(nma.DecompressOp)
 		return nil
 	}
 	b.nextReq++
@@ -196,29 +201,45 @@ func (b *Backend) SwapIn(now dram.Ps, id sfm.PageID, dst []byte, offload bool) e
 // check, MMIO sync when the inferred SPM bound is exhausted, then an
 // MMIO write into the request queue; on rejection the CPU performs
 // the operation.
+// recordFallback charges one CPU-executed swap operation.
+func (b *Backend) recordFallback(kind nma.OpKind) {
+	b.fallbacks.Inc()
+	gmFallbacks.Inc()
+	var perByte float64
+	if kind == nma.CompressOp {
+		perByte = b.codec.Info().CompressCyclesPerByte
+	} else {
+		perByte = b.codec.Info().DecompressCyclesPerByte
+	}
+	b.cpuCycles.Add(perByte * sfm.PageSize)
+}
+
+// recordECC accumulates one page's verification result.
+func (b *Backend) recordECC(corrected, bad int) {
+	b.eccCorrected.Add(int64(corrected))
+	gmECCCorrected.Add(int64(corrected))
+	b.eccUncorrectable.Add(int64(bad))
+	gmECCUncorrectable.Add(int64(bad))
+}
+
 func (b *Backend) submitOrFallback(req nma.Request, kind nma.OpKind) {
 	cfg := b.driver.Sim().Config()
 	// Upper bound: every submitted-but-unobserved offload may still
 	// hold a page in the SPM. When the bound says the SPM is full,
 	// poll the completion counter once to shrink it.
-	outstanding := b.offloads - b.completedSeen
+	outstanding := b.offloads.Value() - b.completedSeen.Load()
 	if (outstanding+1)*int64(cfg.PageBytes) > int64(cfg.SPMBytes) {
-		b.completedSeen = b.driver.PollCompletions()
-		b.spmSyncs++
+		b.completedSeen.Store(b.driver.PollCompletions())
+		b.spmSyncs.Inc()
+		gmSPMSyncs.Inc()
 	}
 	ok, err := b.driver.Submit(req)
 	if err != nil || !ok {
-		b.fallbacks++
-		var perByte float64
-		if kind == nma.CompressOp {
-			perByte = b.codec.Info().CompressCyclesPerByte
-		} else {
-			perByte = b.codec.Info().DecompressCyclesPerByte
-		}
-		b.cpuCycles += perByte * sfm.PageSize
+		b.recordFallback(kind)
 		return
 	}
-	b.offloads++
+	b.offloads.Inc()
+	gmOffloads.Inc()
 }
 
 // Contains implements sfm.Backend.
@@ -229,23 +250,27 @@ func (b *Backend) Contains(id sfm.PageID) bool { return b.inner.Contains(id) }
 func (b *Backend) Compact() int64 { return b.inner.Compact() }
 
 // Stats implements sfm.Backend. CPU cycles reflect only fallback work;
-// offloaded operations cost no host cycles.
+// offloaded operations cost no host cycles. The snapshot is safe to
+// take from any goroutine while batches are in flight: every field it
+// reads is an atomic telemetry counter, and the inner store's Stats
+// are themselves synchronized when the store is sharded.
 func (b *Backend) Stats() sfm.BackendStats {
 	s := b.inner.Stats()
-	s.CPUCycles = b.cpuCycles
-	s.Offloads = b.offloads
-	s.Fallbacks = b.fallbacks
+	s.CPUCycles = b.cpuCycles.Value()
+	s.Offloads = b.offloads.Value()
+	s.Fallbacks = b.fallbacks.Value()
 	return s
 }
 
 // SPMSyncs returns how many MMIO occupancy resynchronizations the lazy
 // tracking needed.
-func (b *Backend) SPMSyncs() int64 { return b.spmSyncs }
+func (b *Backend) SPMSyncs() int64 { return b.spmSyncs.Value() }
 
 // ECCStats returns (parity bytes generated, words corrected, words
-// uncorrectable) for the side-band ECC path.
+// uncorrectable) for the side-band ECC path. Like Stats, it is a
+// race-free snapshot under concurrent batch swaps.
 func (b *Backend) ECCStats() (parityBytes, corrected, uncorrectable int64) {
-	return b.parityBytes, b.eccCorrected, b.eccUncorrectable
+	return b.parityBytes.Value(), b.eccCorrected.Value(), b.eccUncorrectable.Value()
 }
 
 var _ sfm.Backend = (*Backend)(nil)

@@ -22,6 +22,7 @@ import (
 // batch (in parallel when the inner store is sharded), ECC parity is
 // computed on every core, and the offload submissions replay serially.
 func (b *Backend) SwapOutBatch(now dram.Ps, pages []sfm.PageOut) []error {
+	hBatchPages.Observe(float64(len(pages)))
 	errs := b.inner.SwapOutBatch(now, pages)
 	var pars [][]byte
 	if b.eccEnabled {
@@ -41,7 +42,7 @@ func (b *Backend) SwapOutBatch(now dram.Ps, pages []sfm.PageOut) []error {
 		}
 		if b.eccEnabled {
 			b.parity[p.ID] = pars[i]
-			b.parityBytes += int64(len(pars[i]))
+			b.parityBytes.Add(int64(len(pars[i])))
 		}
 		b.nextReq++
 		req := nma.Request{
@@ -60,6 +61,7 @@ func (b *Backend) SwapOutBatch(now dram.Ps, pages []sfm.PageOut) []error {
 // batch, parity verification fans out (the parity map sees only reads
 // during the parallel phase), and driver accounting replays serially.
 func (b *Backend) SwapInBatch(now dram.Ps, pages []sfm.PageIn, offload bool) []error {
+	hBatchPages.Observe(float64(len(pages)))
 	errs := b.inner.SwapInBatch(now, pages, offload)
 	type verify struct {
 		corrected, bad int
@@ -84,8 +86,7 @@ func (b *Backend) SwapInBatch(now dram.Ps, pages []sfm.PageIn, offload bool) []e
 			continue
 		}
 		if b.eccEnabled && vs[i].checked {
-			b.eccCorrected += int64(vs[i].corrected)
-			b.eccUncorrectable += int64(vs[i].bad)
+			b.recordECC(vs[i].corrected, vs[i].bad)
 			delete(b.parity, p.ID)
 			if vs[i].bad > 0 {
 				errs[i] = fmt.Errorf("xfm: page %d has %d uncorrectable ECC words", p.ID, vs[i].bad)
@@ -93,8 +94,7 @@ func (b *Backend) SwapInBatch(now dram.Ps, pages []sfm.PageIn, offload bool) []e
 			}
 		}
 		if !offload {
-			b.fallbacks++
-			b.cpuCycles += b.codec.Info().DecompressCyclesPerByte * sfm.PageSize
+			b.recordFallback(nma.DecompressOp)
 			continue
 		}
 		b.nextReq++

@@ -11,6 +11,7 @@ import (
 
 	"xfm/internal/dram"
 	"xfm/internal/nma"
+	"xfm/internal/telemetry"
 )
 
 // Driver models the XFM_Driver (§6): "primitives for interacting with
@@ -25,9 +26,24 @@ type Driver struct {
 	regionBytes int64
 	paramSet    bool
 
-	mmioReads  int64
-	mmioWrites int64
-	ioctls     int64
+	// MMIO round trips are the control-path cost of every offload;
+	// atomic telemetry counters make MMIOStats a race-free snapshot and
+	// feed the process-wide xfm_mmio_* metrics.
+	mmioReads  telemetry.Counter
+	mmioWrites telemetry.Counter
+	ioctls     telemetry.Counter
+}
+
+// mmioRead charges one register read.
+func (d *Driver) mmioRead() {
+	d.mmioReads.Inc()
+	gmMMIOReads.Inc()
+}
+
+// mmioWrite charges n register writes.
+func (d *Driver) mmioWrite(n int64) {
+	d.mmioWrites.Add(n)
+	gmMMIOWrites.Add(n)
 }
 
 // NewDriver builds a driver over one NMA rank simulator.
@@ -45,8 +61,9 @@ func (d *Driver) Paramset(base, size int64) error {
 	if base < 0 {
 		return fmt.Errorf("xfm: negative region base %d", base)
 	}
-	d.ioctls++
-	d.mmioWrites += 2
+	d.ioctls.Inc()
+	gmIoctls.Inc()
+	d.mmioWrite(2)
 	d.regionBase, d.regionBytes = base, size
 	d.paramSet = true
 	return nil
@@ -60,13 +77,13 @@ func (d *Driver) Region() (base, size int64) { return d.regionBase, d.regionByte
 // occupancy lazily and only sync when their inferred bound hits zero
 // (§6).
 func (d *Driver) SPCapacity() int {
-	d.mmioReads++
+	d.mmioRead()
 	return d.sim.Config().SPMBytes - d.sim.SPMUsed()
 }
 
 // QueueFree reads the free depth of the Compress_Request_Queue.
 func (d *Driver) QueueFree() int {
-	d.mmioReads++
+	d.mmioRead()
 	return d.sim.Config().QueueDepth - d.sim.QueueLen()
 }
 
@@ -75,7 +92,7 @@ func (d *Driver) QueueFree() int {
 // against its own submission count to maintain its lazy upper bound on
 // SPM occupancy without per-operation synchronization (§6).
 func (d *Driver) PollCompletions() int64 {
-	d.mmioReads++
+	d.mmioRead()
 	return d.sim.Stats().Completed
 }
 
@@ -86,7 +103,7 @@ func (d *Driver) Submit(req nma.Request) (bool, error) {
 	if !d.paramSet {
 		return false, fmt.Errorf("xfm: driver not initialized with Paramset")
 	}
-	d.mmioWrites++
+	d.mmioWrite(1)
 	return d.sim.Submit(req), nil
 }
 
@@ -105,7 +122,7 @@ func (d *Driver) NMAStats() nma.Stats { return d.sim.Stats() }
 // MMIOStats returns (reads, writes, ioctls) counts, the cost of the
 // control path.
 func (d *Driver) MMIOStats() (reads, writes, ioctls int64) {
-	return d.mmioReads, d.mmioWrites, d.ioctls
+	return d.mmioReads.Value(), d.mmioWrites.Value(), d.ioctls.Value()
 }
 
 // Sim exposes the NMA simulator (experiments inspect it directly).

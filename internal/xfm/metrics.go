@@ -1,0 +1,42 @@
+package xfm
+
+import "xfm/internal/telemetry"
+
+// Process-wide XFM metrics: the control-path cost (MMIO round trips,
+// ioctls, lazy SPM resyncs) and the offload-vs-fallback split across
+// every backend in the process. xfm_fallback_rate is derived at export
+// time; it is the §7 number that decides whether the NMA absorbed the
+// swap traffic.
+var (
+	gmMMIOReads = telemetry.NewCounter("xfm_mmio_reads_total",
+		"Driver MMIO register reads (SP capacity, queue depth, completion polls).")
+	gmMMIOWrites = telemetry.NewCounter("xfm_mmio_writes_total",
+		"Driver MMIO register writes (request submissions, configuration).")
+	gmIoctls = telemetry.NewCounter("xfm_ioctls_total",
+		"Driver ioctl-surface calls (xfm_paramset and friends).")
+	gmSPMSyncs = telemetry.NewCounter("xfm_spm_syncs_total",
+		"Completion-counter polls forced by the lazy SPM occupancy bound.")
+	gmOffloads = telemetry.NewCounter("xfm_offloads_total",
+		"Swap operations the NMA accepted for offload.")
+	gmFallbacks = telemetry.NewCounter("xfm_fallbacks_total",
+		"Swap operations executed by the CPU (demand faults and NMA back-pressure).")
+	gmECCCorrected = telemetry.NewCounter("xfm_ecc_corrected_total",
+		"Side-band ECC words corrected on swap-in verification.")
+	gmECCUncorrectable = telemetry.NewCounter("xfm_ecc_uncorrectable_total",
+		"Side-band ECC words with uncorrectable errors on swap-in verification.")
+	hBatchPages = telemetry.NewHistogram("xfm_batch_pages",
+		"Pages per SwapOutBatch/SwapInBatch call through an XFM backend.",
+		telemetry.ExpBuckets(1, 2, 13))
+)
+
+func init() {
+	telemetry.NewGaugeFunc("xfm_fallback_rate",
+		"CPU fallbacks over all swap operations (fallbacks / (offloads + fallbacks)).",
+		func() float64 {
+			off, fb := gmOffloads.Value(), gmFallbacks.Value()
+			if off+fb == 0 {
+				return 0
+			}
+			return float64(fb) / float64(off+fb)
+		})
+}
