@@ -1,0 +1,48 @@
+// Command benchgate compares BENCH_*.json artifacts (written by
+// `xfmbench -bench-json DIR`) against the checked-in baseline and
+// exits nonzero when any scenario's pages/s regresses by more than the
+// allowed fraction. It is the CI "bench smoke + JSON artifact" gate.
+//
+// Usage:
+//
+//	benchgate [-baseline bench_baseline.json] [-dir DIR] [-max-regress 0.20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xfm/internal/bench"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "bench_baseline.json", "checked-in baseline file")
+	dir := flag.String("dir", "bench-artifacts", "directory holding BENCH_*.json results")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed pages/s regression as a fraction of baseline")
+	flag.Parse()
+
+	baseline, err := bench.ReadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	results, err := bench.ReadJSON(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no BENCH_*.json artifacts in %s\n", *dir)
+		os.Exit(1)
+	}
+	lines, err := bench.Gate(baseline, results, *maxRegress)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("bench gate passed (%d scenarios, max regression %.0f%%)\n", len(lines), *maxRegress*100)
+}

@@ -7,7 +7,14 @@
 //
 //	xfmbench [-csv] [-list] [-j N] [-metrics-out FILE] [-trace-out FILE]
 //	         [-pprof ADDR] [-cpuprofile FILE] [-memprofile FILE]
+//	         [-bench-json DIR]
 //	         [experiment ...]
+//
+// With -bench-json DIR the experiments are skipped; instead the
+// swap-path benchmark scenarios run and each result is written as
+// DIR/BENCH_<name>.json (pages/s, allocs/op, compression ratio). The
+// CI bench gate (cmd/benchgate) compares those artifacts against the
+// checked-in bench_baseline.json.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"xfm/internal/bench"
 	"xfm/internal/experiments"
 	"xfm/internal/telemetry"
 )
@@ -27,6 +35,7 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	outDir := flag.String("out", "", "also write each experiment's table as CSV into this directory")
 	jobs := flag.Int("j", 0, "experiments to run in parallel (0 = GOMAXPROCS, 1 = serial); tables are identical at any setting")
+	benchJSON := flag.String("bench-json", "", "run the swap-path bench scenarios and write BENCH_*.json artifacts into this directory (skips the experiments)")
 	var tel telemetry.CLI
 	tel.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -34,6 +43,27 @@ func main() {
 	if err := tel.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *benchJSON != "" {
+		results, err := bench.RunAll()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSON(*benchJSON, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Printf("%-24s %10.0f pages/s  %6.0f allocs/op  ratio %.2f\n",
+				r.Name, r.PagesPerSec, r.AllocsPerOp, r.CompressionRatio)
+		}
+		if err := tel.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *list {

@@ -70,7 +70,7 @@ func main() {
 	ns := driver.NMAStats()
 	fmt.Printf("NMA: %d completed, conditional share %.1f%%, max SPM occupancy %d KiB\n",
 		ns.Completed, ns.ConditionalFraction()*100, ns.MaxSPMOccupancy>>10)
-	fmt.Printf("observed promotion rate: %.1f%%/min of far memory\n", xfmRes.PromotionRate*100)
+	fmt.Printf("observed promotion rate: %.1f%% of far memory accessed\n", xfmRes.PromotionRate*100)
 	fmt.Printf("trace: %d swap events over %.1f ms of simulated time\n",
 		len(xfmRes.Trace), float64(xfmRes.Duration)/float64(dram.Millisecond))
 }

@@ -1,0 +1,260 @@
+// Package bench runs the swap-path benchmark scenarios outside `go
+// test`, producing machine-readable results for the CI bench gate.
+// The scenarios mirror the repository-level benchmarks in
+// bench_test.go (same batch shape, same backends), measured with
+// testing.Benchmark so ns/op and allocs/op mean the same thing in both
+// harnesses.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xfm/internal/compress"
+	"xfm/internal/corpus"
+	"xfm/internal/sfm"
+)
+
+// Result is one scenario's measurement, serialized as BENCH_<name>.json.
+type Result struct {
+	Name string `json:"name"`
+	// PagesPerSec is the headline throughput: pages swapped out and
+	// back in per second of wall time.
+	PagesPerSec float64 `json:"pages_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	// AllocsPerOp counts heap allocations per op (one op = one
+	// swap-out + swap-in round trip of the whole batch).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// CompressionRatio is original/compressed over the scenario's page
+	// set under the scenario's codec.
+	CompressionRatio float64 `json:"compression_ratio"`
+	// PagesPerOp is the batch size (pages moved per op).
+	PagesPerOp int `json:"pages_per_op"`
+}
+
+// scenario is a named swap-path configuration.
+type scenario struct {
+	name  string
+	codec func() compress.Codec
+	mk    func() sfm.Backend
+}
+
+const benchPages = 256
+
+func scenarios() []scenario {
+	return []scenario{
+		{
+			name:  "swap_serial_xdeflate",
+			codec: func() compress.Codec { return compress.NewXDeflate() },
+			mk:    func() sfm.Backend { return sfm.NewCPUBackend(compress.NewXDeflate(), 0) },
+		},
+		{
+			name:  "swap_serial_lzfast",
+			codec: func() compress.Codec { return compress.NewLZFast() },
+			mk:    func() sfm.Backend { return sfm.NewCPUBackend(compress.NewLZFast(), 0) },
+		},
+		{
+			name:  "swap_parallel_xdeflate",
+			codec: func() compress.Codec { return compress.NewXDeflate() },
+			mk:    func() sfm.Backend { return sfm.NewShardedBackend(compress.NewXDeflate(), 0, 16, 0) },
+		},
+	}
+}
+
+// Names lists the available scenario names in run order.
+func Names() []string {
+	ss := scenarios()
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.name
+	}
+	return out
+}
+
+// pages builds the benchmark working set: compressible key-value pages,
+// the same shape bench_test.go uses.
+func pages() ([]sfm.PageOut, []sfm.PageIn) {
+	outs := make([]sfm.PageOut, benchPages)
+	ins := make([]sfm.PageIn, benchPages)
+	for i := range outs {
+		outs[i] = sfm.PageOut{ID: sfm.PageID(i), Data: corpus.KeyValue(int64(i), sfm.PageSize)}
+		ins[i] = sfm.PageIn{ID: outs[i].ID, Dst: make([]byte, sfm.PageSize)}
+	}
+	return outs, ins
+}
+
+// run measures one scenario.
+func run(sc scenario) (Result, error) {
+	outs, ins := pages()
+	backend := sc.mk()
+	var failure error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := sfm.FirstError(backend.SwapOutBatch(0, outs)); err != nil {
+				failure = err
+				b.FailNow()
+			}
+			if err := sfm.FirstError(backend.SwapInBatch(0, ins, false)); err != nil {
+				failure = err
+				b.FailNow()
+			}
+		}
+	})
+	if failure != nil {
+		return Result{}, fmt.Errorf("bench %s: %w", sc.name, failure)
+	}
+	if br.N == 0 {
+		return Result{}, fmt.Errorf("bench %s: no iterations ran", sc.name)
+	}
+	// Compression ratio over the same page set, measured directly (the
+	// backend's stored-bytes stats drain back to zero after swap-in).
+	c := sc.codec()
+	s := compress.GetScratch()
+	var raw, comp int64
+	for _, p := range outs {
+		raw += int64(len(p.Data))
+		comp += int64(len(s.Compress(c, p.Data)))
+	}
+	s.Release()
+	nsPerOp := float64(br.T.Nanoseconds()) / float64(br.N)
+	return Result{
+		Name:             sc.name,
+		PagesPerSec:      float64(br.N) * benchPages / br.T.Seconds(),
+		NsPerOp:          nsPerOp,
+		AllocsPerOp:      float64(br.AllocsPerOp()),
+		CompressionRatio: float64(raw) / float64(comp),
+		PagesPerOp:       benchPages,
+	}, nil
+}
+
+// RunAll measures every scenario.
+func RunAll() ([]Result, error) {
+	var out []Result
+	for _, sc := range scenarios() {
+		r, err := run(sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WriteJSON writes each result as BENCH_<name>.json under dir,
+// creating it if needed.
+func WriteJSON(dir string, results []Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range results {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, "BENCH_"+r.Name+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSON loads every BENCH_*.json under dir.
+func ReadJSON(dir string) ([]Result, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var r Result
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Baseline is the checked-in reference the CI gate compares against.
+type Baseline struct {
+	// Note documents where the numbers came from.
+	Note      string   `json:"note"`
+	Scenarios []Result `json:"scenarios"`
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// Gate compares results against a baseline: any scenario whose
+// pages/s falls more than maxRegress (a fraction, e.g. 0.20) below
+// its baseline entry is a failure. Scenarios missing from either side
+// are failures too — a silently dropped benchmark must not pass the
+// gate. It returns a human-readable report line per scenario and an
+// error when the gate fails.
+func Gate(baseline Baseline, results []Result, maxRegress float64) ([]string, error) {
+	base := map[string]Result{}
+	for _, r := range baseline.Scenarios {
+		base[r.Name] = r
+	}
+	got := map[string]Result{}
+	for _, r := range results {
+		got[r.Name] = r
+	}
+	var lines []string
+	var failures []string
+	for _, b := range baseline.Scenarios {
+		r, ok := got[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from results", b.Name))
+			continue
+		}
+		floor := b.PagesPerSec * (1 - maxRegress)
+		delta := (r.PagesPerSec - b.PagesPerSec) / b.PagesPerSec * 100
+		line := fmt.Sprintf("%-24s %10.0f pages/s (baseline %.0f, %+.1f%%, floor %.0f)",
+			b.Name, r.PagesPerSec, b.PagesPerSec, delta, floor)
+		lines = append(lines, line)
+		if r.PagesPerSec < floor {
+			failures = append(failures, fmt.Sprintf("%s: %.0f pages/s is below the %.0f floor (baseline %.0f, max regression %.0f%%)",
+				b.Name, r.PagesPerSec, floor, b.PagesPerSec, maxRegress*100))
+		}
+	}
+	for _, r := range results {
+		if _, ok := base[r.Name]; !ok {
+			failures = append(failures, fmt.Sprintf("%s: not in baseline (regenerate bench_baseline.json)", r.Name))
+		}
+	}
+	if len(failures) > 0 {
+		return lines, fmt.Errorf("bench gate failed:\n  %s", joinLines(failures))
+	}
+	return lines, nil
+}
+
+func joinLines(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += s
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func baselineOf(rs ...Result) Baseline { return Baseline{Scenarios: rs} }
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	b := baselineOf(Result{Name: "a", PagesPerSec: 1000})
+	lines, err := Gate(b, []Result{{Name: "a", PagesPerSec: 810}}, 0.20)
+	if err != nil {
+		t.Fatalf("gate failed: %v", err)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("got %d report lines, want 1", len(lines))
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	b := baselineOf(Result{Name: "a", PagesPerSec: 1000})
+	_, err := Gate(b, []Result{{Name: "a", PagesPerSec: 799}}, 0.20)
+	if err == nil {
+		t.Fatal("gate passed a 20.1% regression")
+	}
+	if !strings.Contains(err.Error(), "below the") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestGateFailsOnMissingScenario(t *testing.T) {
+	b := baselineOf(Result{Name: "a", PagesPerSec: 1000}, Result{Name: "b", PagesPerSec: 500})
+	if _, err := Gate(b, []Result{{Name: "a", PagesPerSec: 1000}}, 0.20); err == nil {
+		t.Fatal("gate passed with scenario b missing from results")
+	}
+	if _, err := Gate(b, []Result{
+		{Name: "a", PagesPerSec: 1000},
+		{Name: "b", PagesPerSec: 500},
+		{Name: "c", PagesPerSec: 1},
+	}, 0.20); err == nil {
+		t.Fatal("gate passed with scenario c missing from baseline")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := []Result{
+		{Name: "x", PagesPerSec: 123.5, NsPerOp: 4, AllocsPerOp: 5, CompressionRatio: 2.5, PagesPerOp: 256},
+		{Name: "y", PagesPerSec: 9, PagesPerOp: 256},
+	}
+	if err := WriteJSON(dir, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSON(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d results, want %d", len(out), len(in))
+	}
+	seen := map[string]Result{}
+	for _, r := range out {
+		seen[r.Name] = r
+	}
+	for _, r := range in {
+		if seen[r.Name] != r {
+			t.Fatalf("round trip changed %s: %+v -> %+v", r.Name, r, seen[r.Name])
+		}
+	}
+}
+
+func TestScenarioNamesStable(t *testing.T) {
+	want := []string{"swap_serial_xdeflate", "swap_serial_lzfast", "swap_parallel_xdeflate"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

@@ -196,14 +196,26 @@ func reverseBits(v uint32, n uint) uint32 {
 	return out
 }
 
-// huffDecoder decodes canonical codes emitted LSB-first, one bit at a
-// time. Simple but sufficient: xdeflate is a model codec, not a
-// throughput record-setter.
+// huffTableBits is the width of the first-level decode table: codes up
+// to 9 bits resolve with one peek + one lookup. DEFLATE-style litlen
+// trees put all frequent symbols well inside 9 bits, so the bit-serial
+// walk below survives only as the cold fallback for 10–15 bit codes.
+const huffTableBits = 9
+
+// huffDecoder decodes canonical codes emitted LSB-first: a multi-bit
+// first-level lookup table resolves short codes in one step, and a
+// canonical (count, syms) walk handles the over-long tail.
 type huffDecoder struct {
 	// count[l] = number of codes of length l; syms lists symbols in
 	// canonical order.
 	count [huffMaxBits + 1]int
 	syms  []int
+	// table maps the next huffTableBits input bits (LSB-first, i.e.
+	// bit-reversed code prefixes) to sym<<4 | codeLen for codes of
+	// ≤ huffTableBits bits. A zero entry means "not decodable at this
+	// level": fall back to the bit-serial walk. (A real symbol 0 of
+	// length l encodes as the nonzero value l, so 0 is unambiguous.)
+	table [1 << huffTableBits]uint16
 }
 
 // init rebuilds the decoder from a code-length table, reusing the
@@ -237,6 +249,48 @@ func (d *huffDecoder) init(lengths []uint8) {
 			}
 		}
 	}
+	d.buildTable()
+}
+
+// buildTable fills the first-level table from the canonical (count,
+// syms) form. Each ≤ huffTableBits code occupies every table index
+// whose low bits equal its bit-reversed pattern.
+func (d *huffDecoder) buildTable() {
+	for i := range d.table {
+		d.table[i] = 0
+	}
+	// Over-subscribed length tables (possible only on corrupt input)
+	// break the canonical progression below: an overflowed code aliases
+	// earlier table slots after bit reversal. Leave the table empty in
+	// that case so every decode takes the bit-serial walk, which keeps
+	// the accept/reject behavior of the pre-table decoder bit-for-bit.
+	kraft := uint32(0)
+	for l := 1; l <= huffMaxBits; l++ {
+		kraft = kraft<<1 + uint32(d.count[l])
+		if kraft > 1<<l {
+			return
+		}
+	}
+	// Reconstruct the canonical code progression (same recurrence as
+	// huffCanonicalCodesInto) over the symbols in canonical order.
+	code := uint32(0)
+	idx := 0
+	for l := uint(1); l <= huffMaxBits; l++ {
+		code <<= 1
+		cnt := d.count[l]
+		if l > huffTableBits {
+			break
+		}
+		for k := 0; k < cnt; k++ {
+			rev := reverseBits(code, l)
+			entry := uint16(d.syms[idx])<<4 | uint16(l)
+			for j := rev; j < uint32(len(d.table)); j += 1 << l {
+				d.table[j] = entry
+			}
+			code++
+			idx++
+		}
+	}
 }
 
 func newHuffDecoder(lengths []uint8) *huffDecoder {
@@ -245,8 +299,24 @@ func newHuffDecoder(lengths []uint8) *huffDecoder {
 	return d
 }
 
-// decode reads one symbol from r. Returns -1 on corrupt input.
+// decode reads one symbol from r. Returns -1 on corrupt input. The
+// fast path is one peek + one table lookup; codes longer than
+// huffTableBits fall back to the canonical bit-serial walk.
 func (d *huffDecoder) decode(r *bitReader) int {
+	if e := d.table[r.peek(huffTableBits)]; e != 0 {
+		if !r.consume(uint(e & 0x0f)) {
+			// Table hit on end-of-stream zero padding: the code needs
+			// more bits than the stream holds.
+			return -1
+		}
+		return int(e >> 4)
+	}
+	return d.decodeSlow(r)
+}
+
+// decodeSlow is the bit-serial canonical walk for codes longer than
+// huffTableBits (and the no-table corner cases).
+func (d *huffDecoder) decodeSlow(r *bitReader) int {
 	code := 0
 	first := 0
 	index := 0

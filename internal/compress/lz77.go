@@ -1,5 +1,10 @@
 package compress
 
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
 // LZ77 matcher with hash chains used by the xdeflate codec. The window
 // size is configurable so the multi-channel experiments (Fig. 8) can
 // model the reduced per-DIMM compression windows (4 KiB → 2 KiB → 1 KiB).
@@ -145,12 +150,23 @@ func lz77Parse(src []byte, window int, lazy bool) []lzToken {
 }
 
 // matchLen returns the common-prefix length of src[a:] and src[b:]
-// capped at lz77MaxMatch, with b > a.
+// capped at lz77MaxMatch, with b > a. It compares 8 bytes per
+// iteration and finishes with a trailing-zero count of the first
+// differing word; both loads stay in bounds because a < b and
+// n+8 ≤ maxN ≤ len(src)−b. The result is identical to a byte loop.
 func matchLen(src []byte, a, b int) int {
-	n := 0
 	maxN := len(src) - b
 	if maxN > lz77MaxMatch {
 		maxN = lz77MaxMatch
+	}
+	n := 0
+	for n+8 <= maxN {
+		x := binary.LittleEndian.Uint64(src[a+n:]) ^ binary.LittleEndian.Uint64(src[b+n:])
+		if x != 0 {
+			n += bits.TrailingZeros64(x) >> 3
+			return n
+		}
+		n += 8
 	}
 	for n < maxN && src[a+n] == src[b+n] {
 		n++
@@ -186,23 +202,69 @@ var distExtra = [30]uint{
 	7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13,
 }
 
-// lengthCode maps a match length (3..258) to its length code index
-// (0..28) without a 256-entry table.
-func lengthCode(l int) int {
-	for c := len(lengthBase) - 1; c >= 0; c-- {
-		if l >= lengthBase[c] {
-			return c
+// lengthCodeTab maps match length − 3 to its length code; distCodeTab
+// covers distances 1..256 directly and distCodeTab2 covers 257..32768
+// at (d−1)>>7 granularity (zlib's split). Both are built once at init
+// from the base tables, replacing the per-token linear scans the
+// encoder profile was dominated by.
+var (
+	lengthCodeTab [lz77MaxMatch - lz77MinMatch + 1]uint8
+	distCodeTab   [256]uint8
+	distCodeTab2  [256]uint8
+)
+
+func init() {
+	scanLength := func(l int) int {
+		for c := len(lengthBase) - 1; c >= 0; c-- {
+			if l >= lengthBase[c] {
+				return c
+			}
 		}
+		return 0
 	}
-	return 0
+	scanDist := func(d int) int {
+		for c := len(distBase) - 1; c >= 0; c-- {
+			if d >= distBase[c] {
+				return c
+			}
+		}
+		return 0
+	}
+	for l := lz77MinMatch; l <= lz77MaxMatch; l++ {
+		lengthCodeTab[l-lz77MinMatch] = uint8(scanLength(l))
+	}
+	for d := 1; d <= 256; d++ {
+		distCodeTab[d-1] = uint8(scanDist(d))
+	}
+	for i := 0; i < 256; i++ {
+		// Representative distance for bucket i: (i<<7)+1 .. (i+1)<<7;
+		// all distances in a 128-wide bucket above 256 share one code.
+		distCodeTab2[i] = uint8(scanDist(i<<7 + 1))
+	}
+}
+
+// lengthCode maps a match length (3..258) to its length code index
+// (0..28).
+func lengthCode(l int) int {
+	if l < lz77MinMatch {
+		return 0
+	}
+	if l > lz77MaxMatch {
+		return len(lengthBase) - 1
+	}
+	return int(lengthCodeTab[l-lz77MinMatch])
 }
 
 // distCode maps a distance (1..32768) to its code index (0..29).
 func distCode(d int) int {
-	for c := len(distBase) - 1; c >= 0; c-- {
-		if d >= distBase[c] {
-			return c
-		}
+	if d < 1 {
+		return 0
 	}
-	return 0
+	if d <= 256 {
+		return int(distCodeTab[d-1])
+	}
+	if d > 32768 {
+		return len(distBase) - 1
+	}
+	return int(distCodeTab2[(d-1)>>7])
 }

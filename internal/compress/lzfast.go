@@ -1,13 +1,22 @@
 package compress
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"math/bits"
+	"sync"
+)
 
-// LZFast is a byte-oriented LZ77 codec in the LZO/LZ4 speed class: a
-// single-probe hash table, greedy matching, and a token-based output
-// format with no entropy stage. It stands in for the lzo codec the
-// paper's production SFMs use for low CPU overhead (§2.1).
+// LZFast is a word-oriented LZ77 codec in the LZO/LZ4 speed class: a
+// two-slot hash table probed with 8-byte loads, greedy matching with
+// word-at-a-time extension, and a token-based output format with no
+// entropy stage. It stands in for the lzo codec the paper's production
+// SFMs use for low CPU overhead (§2.1); the kernels are written the
+// way production LZ4-class codecs are written — machine-word probes and
+// copies, not byte loops.
 //
-// Stream format (little-endian):
+// Stream format (little-endian), unchanged since the byte-serial
+// implementation (wire compatibility in both directions is pinned by
+// the differential fuzz targets in compat_fuzz_test.go):
 //
 //	varint originalLen
 //	sequence*:
@@ -32,7 +41,37 @@ const (
 	lzfMinMatch  = 4
 	lzfMaxOffset = 65535
 	lzfHashLog   = 13
+	// lzfAccept is the prefer-recent heuristic threshold: when the most
+	// recent hash slot already yields a match this long, the second
+	// slot is not probed. Recent candidates win ties anyway (shorter
+	// offsets), so the extra probe only pays off for short matches.
+	lzfAccept = 32
 )
+
+// lzfEncState is the pooled per-call state of the compress hot path:
+// a two-slot hash table validated by a per-call generation stamp, so
+// no per-call table clearing is needed (the byte-serial kernel zeroed
+// 32 KiB of table per 4 KiB page).
+type lzfEncState struct {
+	gen  uint32
+	tag  [1 << lzfHashLog]uint32
+	slot [1 << lzfHashLog][2]int32
+}
+
+var lzfEncPool = sync.Pool{New: func() any { return new(lzfEncState) }}
+
+// next advances the generation stamp, clearing the tag table only on
+// the (once per 2³² calls) wraparound.
+func (st *lzfEncState) next() uint32 {
+	st.gen++
+	if st.gen == 0 {
+		for i := range st.tag {
+			st.tag[i] = 0
+		}
+		st.gen = 1
+	}
+	return st.gen
+}
 
 // NewLZFast returns the default LZFast codec with a 64 KiB window.
 func NewLZFast() *LZFast { return &LZFast{maxOffset: lzfMaxOffset} }
@@ -74,30 +113,75 @@ func (z *LZFast) MaxCompressedLen(n int) int {
 	return n + n/255 + 16
 }
 
+// lzfHash8 hashes the low 5 bytes of an 8-byte little-endian load.
+// Hashing one byte past the 4-byte minimum match keeps the two slots
+// from filling up with short-period collisions while still finding
+// every ≥ 5-byte repeat; 4-byte candidates are verified explicitly.
+func lzfHash8(v uint64) uint32 {
+	return uint32(((v << 24) * 0x9E3779B185EBCA87) >> (64 - lzfHashLog))
+}
+
+// lzfExtendMatch returns the common-prefix length of src[a:] and
+// src[b:] (b > a), comparing 8 bytes per iteration and finishing the
+// first differing word with a trailing-zero count.
+func lzfExtendMatch(src []byte, a, b int) int {
+	n := 0
+	for b+n+8 <= len(src) {
+		x := binary.LittleEndian.Uint64(src[a+n:]) ^ binary.LittleEndian.Uint64(src[b+n:])
+		if x != 0 {
+			return n + bits.TrailingZeros64(x)>>3
+		}
+		n += 8
+	}
+	for b+n < len(src) && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}
+
 // Compress implements Codec.
 func (z *LZFast) Compress(dst, src []byte) []byte {
 	dst = appendUvarint(dst, uint64(len(src)))
 	if len(src) == 0 {
 		return dst
 	}
-	var table [1 << lzfHashLog]int32
-	for i := range table {
-		table[i] = -1
-	}
+	st := lzfEncPool.Get().(*lzfEncState)
+	gen := st.next()
 	anchor := 0 // start of pending literal run
 	i := 0
-	limit := len(src) - lzfMinMatch
-	for i <= limit {
-		h := lzfHash(binary.LittleEndian.Uint32(src[i:]))
-		cand := int(table[h])
-		table[h] = int32(i)
-		if cand >= 0 && i-cand <= z.maxOffset &&
-			binary.LittleEndian.Uint32(src[cand:]) == binary.LittleEndian.Uint32(src[i:]) {
-			// Extend the match forward.
-			mlen := lzfMinMatch
-			for i+mlen < len(src) && src[cand+mlen] == src[i+mlen] {
-				mlen++
+	// Word probes need an 8-byte load at i; the (< 8 byte) tail is
+	// emitted as literals.
+	probeLimit := len(src) - 8
+	for i <= probeLimit {
+		v := binary.LittleEndian.Uint64(src[i:])
+		h := lzfHash8(v)
+		cand := -1
+		mlen := 0
+		if st.tag[h] == gen {
+			// Prefer-recent: slot 0 holds the most recent position with
+			// this hash. Only when its match is short is the older slot
+			// worth probing for a longer one.
+			s0, s1 := int(st.slot[h][0]), int(st.slot[h][1])
+			if i-s0 <= z.maxOffset &&
+				binary.LittleEndian.Uint32(src[s0:]) == uint32(v) {
+				cand = s0
+				mlen = lzfMinMatch + lzfExtendMatch(src, s0+lzfMinMatch, i+lzfMinMatch)
 			}
+			if mlen < lzfAccept && s1 >= 0 && i-s1 <= z.maxOffset &&
+				binary.LittleEndian.Uint32(src[s1:]) == uint32(v) {
+				if l := lzfMinMatch + lzfExtendMatch(src, s1+lzfMinMatch, i+lzfMinMatch); l > mlen {
+					cand = s1
+					mlen = l
+				}
+			}
+			st.slot[h][1] = st.slot[h][0]
+			st.slot[h][0] = int32(i)
+		} else {
+			st.tag[h] = gen
+			st.slot[h][0] = int32(i)
+			st.slot[h][1] = -1
+		}
+		if mlen >= lzfMinMatch {
 			dst = lzfEmit(dst, src[anchor:i], i-cand, mlen)
 			i += mlen
 			anchor = i
@@ -110,13 +194,21 @@ func (z *LZFast) Compress(dst, src []byte) []byte {
 	if anchor < len(src) {
 		dst = lzfEmitFinal(dst, src[anchor:])
 	}
+	lzfEncPool.Put(st)
 	return dst
 }
 
-// lzfEmit appends one (literals, match) sequence.
+// lzfEmit appends one (literals, match) sequence. Capacity for the
+// whole sequence is ensured once up front, then every byte is written
+// by index — no per-byte append bounds checks on the hot path.
 func lzfEmit(dst, lits []byte, offset, mlen int) []byte {
 	litLen := len(lits)
 	matchCode := mlen - lzfMinMatch
+	// Worst case: token + litLen/255+1 extension bytes + literals +
+	// 2-byte offset + matchCode/255+1 extension bytes.
+	need := 1 + litLen/255 + 1 + litLen + 2 + matchCode/255 + 1
+	o := len(dst)
+	dst = growSlack(dst, need)
 	token := byte(0)
 	if litLen >= 15 {
 		token = 15 << 4
@@ -128,42 +220,61 @@ func lzfEmit(dst, lits []byte, offset, mlen int) []byte {
 	} else {
 		token |= byte(matchCode)
 	}
-	dst = append(dst, token)
+	dst[o] = token
+	o++
 	if litLen >= 15 {
-		dst = lzfExt(dst, litLen-15)
+		o = lzfPutExt(dst, o, litLen-15)
 	}
-	dst = append(dst, lits...)
-	dst = append(dst, byte(offset), byte(offset>>8))
+	copy(dst[o:], lits)
+	o += litLen
+	dst[o] = byte(offset)
+	dst[o+1] = byte(offset >> 8)
+	o += 2
 	if matchCode >= 15 {
-		dst = lzfExt(dst, matchCode-15)
+		o = lzfPutExt(dst, o, matchCode-15)
 	}
-	return dst
+	return dst[:o]
 }
 
 // lzfEmitFinal appends the terminal literals-only sequence.
 func lzfEmitFinal(dst, lits []byte) []byte {
 	litLen := len(lits)
-	token := byte(0)
+	o := len(dst)
+	dst = growSlack(dst, 1+litLen/255+1+litLen)
 	if litLen >= 15 {
-		token = 15 << 4
+		dst[o] = 15 << 4
+		o++
+		o = lzfPutExt(dst, o, litLen-15)
 	} else {
-		token = byte(litLen) << 4
+		dst[o] = byte(litLen) << 4
+		o++
 	}
-	dst = append(dst, token)
-	if litLen >= 15 {
-		dst = lzfExt(dst, litLen-15)
-	}
-	return append(dst, lits...)
+	copy(dst[o:], lits)
+	return dst[:o+litLen]
 }
 
-// lzfExt encodes an extension count: bytes of 255 followed by the
-// remainder byte (<255).
-func lzfExt(dst []byte, n int) []byte {
+// lzfPutExt writes an extension count at dst[o:]: bytes of 255
+// followed by the remainder byte (<255). Returns the new offset.
+func lzfPutExt(dst []byte, o, n int) int {
 	for n >= 255 {
-		dst = append(dst, 255)
+		dst[o] = 255
+		o++
 		n -= 255
 	}
-	return append(dst, byte(n))
+	dst[o] = byte(n)
+	return o + 1
+}
+
+// growSlack extends dst's length by n (contents unspecified),
+// reallocating only when capacity is short — the index-write
+// counterpart of repeated appends.
+func growSlack(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst[:len(dst)+n]
+	}
+	grown := make([]byte, len(dst)+n, (len(dst)+n)*2+64)
+	copy(grown, dst)
+	return grown
 }
 
 // Decompress implements Codec.
@@ -175,28 +286,53 @@ func (z *LZFast) Decompress(dst, src []byte) ([]byte, error) {
 	src = src[n:]
 	base := len(dst)
 	want := base + int(origLen)
-	for len(dst) < want {
-		if len(src) == 0 {
+	if want <= base {
+		// Zero-length claim (or a wrapped 64-bit one): valid only when
+		// nothing follows the header.
+		if len(src) != 0 {
 			return dst, ErrCorrupt
 		}
-		token := src[0]
-		src = src[1:]
+		return dst, nil
+	}
+	// Expansion sanity bound: one compressed byte cannot decode to more
+	// than 255 output bytes (extension bytes add ≤ 255 each), so a
+	// longer claim is corrupt. Checking up front lets the hot loop
+	// reserve the whole output once and write by index.
+	if origLen > uint64(len(src))*256+64 {
+		return dst, ErrCorrupt
+	}
+	// Exact-size reservation: callers decompress in place into
+	// page-sized buffers (CPUBackend passes dst[:0] with cap PageSize),
+	// so the output must not outgrow want. Word-wise copies below are
+	// bounded to never overshoot it.
+	out := Grow(dst, int(origLen))
+	o := base
+	s := 0
+	for o < want {
+		if s >= len(src) {
+			return dst, ErrCorrupt
+		}
+		token := src[s]
+		s++
 		litLen := int(token >> 4)
 		if litLen == 15 {
-			var ext int
-			var err error
-			ext, src, err = lzfReadExt(src)
+			ext, ns, err := lzfReadExtAt(src, s)
 			if err != nil {
 				return dst, err
 			}
 			litLen += ext
+			s = ns
 		}
-		if litLen > len(src) {
+		if litLen > len(src)-s {
 			return dst, ErrCorrupt
 		}
-		dst = append(dst, src[:litLen]...)
-		src = src[litLen:]
-		if len(dst) == want {
+		if o+litLen > want {
+			return dst, ErrCorrupt
+		}
+		copy(out[o:], src[s:s+litLen])
+		o += litLen
+		s += litLen
+		if o == want {
 			// Final literals-only sequence: the match half of the
 			// token must be empty and the stream must end here.
 			if token&0x0f != 0 {
@@ -204,60 +340,83 @@ func (z *LZFast) Decompress(dst, src []byte) ([]byte, error) {
 			}
 			break
 		}
-		if len(dst) > want {
+		if len(src)-s < 2 {
 			return dst, ErrCorrupt
 		}
-		if len(src) < 2 {
-			return dst, ErrCorrupt
-		}
-		offset := int(src[0]) | int(src[1])<<8
-		src = src[2:]
+		offset := int(src[s]) | int(src[s+1])<<8
+		s += 2
 		mlen := int(token&0x0f) + lzfMinMatch
 		if token&0x0f == 15 {
-			var ext int
-			var err error
-			ext, src, err = lzfReadExt(src)
+			ext, ns, err := lzfReadExtAt(src, s)
 			if err != nil {
 				return dst, err
 			}
 			mlen += ext
+			s = ns
 		}
-		start := len(dst) - offset
+		start := o - offset
 		if offset == 0 || start < base {
 			return dst, ErrCorrupt
 		}
-		if len(dst)+mlen > want {
+		if o+mlen > want {
 			return dst, ErrCorrupt
 		}
-		// Byte-at-a-time copy: matches may overlap their own output
-		// (run-length encoding via offset < length).
-		for k := 0; k < mlen; k++ {
-			dst = append(dst, dst[start+k])
+		if offset >= 8 {
+			// Word-wise match copy. The wildcopy form overshoots by up
+			// to 7 bytes, so it runs only while that slack fits inside
+			// the output; the final match of a stream finishes with an
+			// exact word loop plus a byte tail.
+			k := 0
+			if o+mlen+8 <= len(out) {
+				for ; k < mlen; k += 8 {
+					binary.LittleEndian.PutUint64(out[o+k:], binary.LittleEndian.Uint64(out[start+k:]))
+				}
+			} else {
+				for ; k+8 <= mlen; k += 8 {
+					binary.LittleEndian.PutUint64(out[o+k:], binary.LittleEndian.Uint64(out[start+k:]))
+				}
+				for ; k < mlen; k++ {
+					out[o+k] = out[start+k]
+				}
+			}
+			o += mlen
+		} else {
+			// Overlapping copy (RLE via offset < length): write one
+			// period byte-wise, then double the region with
+			// memmove-backed copies.
+			end := o + mlen
+			p := o
+			for k := 0; k < offset && p < end; k++ {
+				out[p] = out[start+k]
+				p++
+			}
+			for p < end {
+				p += copy(out[p:end], out[start:p])
+			}
+			o = end
 		}
 	}
-	if len(src) != 0 {
+	if s != len(src) {
 		return dst, ErrCorrupt
 	}
-	return dst, nil
+	return out[:want], nil
 }
 
-func lzfReadExt(src []byte) (int, []byte, error) {
+// lzfReadExtAt reads an extension count at src[o:], returning the
+// count and the new offset.
+func lzfReadExtAt(src []byte, o int) (int, int, error) {
 	ext := 0
 	for {
-		if len(src) == 0 {
-			return 0, src, ErrCorrupt
+		if o >= len(src) {
+			return 0, o, ErrCorrupt
 		}
-		b := src[0]
-		src = src[1:]
+		b := src[o]
+		o++
 		ext += int(b)
 		if b < 255 {
-			return ext, src, nil
+			return ext, o, nil
 		}
 	}
-}
-
-func lzfHash(v uint32) uint32 {
-	return (v * 2654435761) >> (32 - lzfHashLog)
 }
 
 func appendUvarint(dst []byte, v uint64) []byte {

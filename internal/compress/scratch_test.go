@@ -134,8 +134,8 @@ func TestCompressHotPathAllocs(t *testing.T) {
 			allocs := testing.AllocsPerRun(50, func() {
 				s.Compress(c, src)
 			})
-			if allocs > 1 {
-				t.Errorf("%s: %v allocs/op on warmed compress path, want ≤ 1", c.Name(), allocs)
+			if allocs != 0 {
+				t.Errorf("%s: %v allocs/op on warmed compress path, want 0", c.Name(), allocs)
 			}
 		})
 	}
@@ -168,8 +168,8 @@ func TestDecompressHotPathAllocs(t *testing.T) {
 					t.Fatal(err)
 				}
 			})
-			if allocs > 1 {
-				t.Errorf("%s: %v allocs/op on warmed decompress path, want ≤ 1", c.Name(), allocs)
+			if allocs != 0 {
+				t.Errorf("%s: %v allocs/op on warmed decompress path, want 0", c.Name(), allocs)
 			}
 		})
 	}

@@ -1,6 +1,9 @@
 package compress
 
-import "sync"
+import (
+	"encoding/binary"
+	"sync"
+)
 
 // XDeflate is a from-scratch LZ77 + canonical-Huffman codec in the
 // DEFLATE class. It stands in for the Deflate accelerator the paper's
@@ -215,6 +218,13 @@ func (x *XDeflate) Decompress(dst, src []byte) ([]byte, error) {
 		}
 		return append(dst, src...), nil
 	case 1:
+		// Expansion sanity bound: a valid huffman block cannot decode
+		// to more than ~1032 bytes per compressed byte (≥ 2 bits per
+		// ≤ 258-byte match), so a longer claim is corrupt. Checking up
+		// front lets decodeHuffman reserve the whole output once.
+		if int(origLen) < 0 || origLen > uint64(len(src))*1040+64 {
+			return dst, ErrCorrupt
+		}
 		st := xdDecPool.Get().(*xdDecState)
 		dst, err := x.decodeHuffman(st, dst, src, want, base)
 		xdDecPool.Put(st)
@@ -261,6 +271,15 @@ func (x *XDeflate) decodeHuffman(st *xdDecState, dst, src []byte, want, base int
 	st.distDec.init(distLens)
 	litDec, distDec := &st.litDec, &st.distDec
 	r := bitReader{src: src}
+	// Reserve the whole output once (bounded by the caller's expansion
+	// check), then write by index: literals are single stores and match
+	// copies run 8 bytes per iteration, with no per-byte append bounds
+	// checks. The reservation is exact-size — callers decompress in
+	// place into page-sized buffers (CPUBackend passes dst[:0] with cap
+	// PageSize), so the output must not outgrow want; the word-wise
+	// copies below are bounded to never overshoot it.
+	out := Grow(dst, want-base)
+	o := base
 	for {
 		sym := litDec.decode(&r)
 		if sym < 0 {
@@ -270,10 +289,11 @@ func (x *XDeflate) decodeHuffman(st *xdDecState, dst, src []byte, want, base int
 			break
 		}
 		if sym < 256 {
-			if len(dst) >= want {
+			if o >= want {
 				return dst, ErrCorrupt
 			}
-			dst = append(dst, byte(sym))
+			out[o] = byte(sym)
+			o++
 			continue
 		}
 		lc := sym - 257
@@ -289,18 +309,50 @@ func (x *XDeflate) decodeHuffman(st *xdDecState, dst, src []byte, want, base int
 		if r.bad {
 			return dst, ErrCorrupt
 		}
-		start := len(dst) - dist
-		if start < base || len(dst)+length > want {
+		start := o - dist
+		if start < base || o+length > want {
 			return dst, ErrCorrupt
 		}
-		for k := 0; k < length; k++ {
-			dst = append(dst, dst[start+k])
+		if dist >= 8 {
+			// Non-self-overlapping at word granularity: copy 8 bytes
+			// per iteration. The wildcopy form overshoots by up to 7
+			// bytes, so it runs only while that slack fits inside the
+			// output; a match ending near want finishes with an exact
+			// word loop plus a byte tail.
+			k := 0
+			if o+length+8 <= len(out) {
+				for ; k < length; k += 8 {
+					binary.LittleEndian.PutUint64(out[o+k:], binary.LittleEndian.Uint64(out[start+k:]))
+				}
+			} else {
+				for ; k+8 <= length; k += 8 {
+					binary.LittleEndian.PutUint64(out[o+k:], binary.LittleEndian.Uint64(out[start+k:]))
+				}
+				for ; k < length; k++ {
+					out[o+k] = out[start+k]
+				}
+			}
+			o += length
+		} else {
+			// Overlapping match (RLE via offset < length): write one
+			// period byte-wise, then double the copied region with
+			// memmove-backed copies — O(log length) passes.
+			end := o + length
+			n := o
+			for k := 0; k < dist && n < end; k++ {
+				out[n] = out[start+k]
+				n++
+			}
+			for n < end {
+				n += copy(out[n:end], out[start:n])
+			}
+			o = end
 		}
 	}
-	if len(dst) != want {
+	if o != want {
 		return dst, ErrCorrupt
 	}
-	return dst, nil
+	return out[:want], nil
 }
 
 func maxUsedSym(lens []uint8) int {

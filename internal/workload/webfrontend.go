@@ -54,7 +54,9 @@ type Result struct {
 	Trace        []trace.Record
 	HeapStats    sfm.HeapStats
 	BackendStats sfm.BackendStats
-	// PromotionRate is the observed far-memory promotion rate.
+	// PromotionRate is the observed far-memory promotion rate: the
+	// fraction of pages that resided in far memory during the run
+	// which were promoted back at least once (§2.1). Always in [0, 1].
 	PromotionRate float64
 	Duration      dram.Ps
 }
@@ -76,7 +78,12 @@ func (w WebFrontend) Run(backend sfm.Backend) (Result, error) {
 	ctl := &sfm.ColdScanController{Heap: heap, ColdAfter: w.ColdAfter}
 
 	var rec []trace.Record
-	var promotedBytes int64
+	// Distinct-page tracking for the promotion rate (§2.1): everFar
+	// marks pages that resided in far memory at any point, promoted
+	// marks those promoted back at least once. Raw byte counters would
+	// count re-promotions of the same hot page every time.
+	everFar := make([]bool, w.Pages)
+	promoted := make([]bool, w.Pages)
 	hotBase := 0
 	now := dram.Ps(0)
 	for q := 0; q < w.Queries; q++ {
@@ -86,11 +93,13 @@ func (w WebFrontend) Run(backend sfm.Backend) (Result, error) {
 		if w.ShiftEvery > 0 && q > 0 && q%w.ShiftEvery == 0 {
 			hotBase = (hotBase + int(float64(w.Pages)*w.HotFraction)) % w.Pages
 			for i := 0; i < int(float64(w.Pages)*w.HotFraction)/2; i++ {
-				id := ids[(hotBase+i)%w.Pages]
+				pi := (hotBase + i) % w.Pages
+				id := ids[pi]
 				if !heap.Resident(id) {
 					if err := heap.Prefetch(now, id); err == nil {
 						rec = append(rec, trace.Record{AtPs: now, Op: trace.Prefetch, PageID: int64(id), Bytes: sfm.PageSize})
-						promotedBytes += sfm.PageSize
+						everFar[pi] = true
+						promoted[pi] = true
 					}
 				}
 			}
@@ -103,7 +112,8 @@ func (w WebFrontend) Run(backend sfm.Backend) (Result, error) {
 		}
 		if wasFar {
 			rec = append(rec, trace.Record{AtPs: now, Op: trace.SwapIn, PageID: int64(id), Bytes: sfm.PageSize})
-			promotedBytes += sfm.PageSize
+			everFar[idx] = true
+			promoted[idx] = true
 		}
 		// Periodic cold scan (the kreclaimd-style daemon).
 		if q%100 == 99 {
@@ -113,18 +123,31 @@ func (w WebFrontend) Run(backend sfm.Backend) (Result, error) {
 			for k := int64(0); k < demoted; k++ {
 				rec = append(rec, trace.Record{AtPs: now, Op: trace.SwapOut, PageID: -1, Bytes: sfm.PageSize})
 			}
+			// Demotions only happen inside scans, so sampling residency
+			// here observes every page that ever went far.
+			for i, id := range ids {
+				if !heap.Resident(id) {
+					everFar[i] = true
+				}
+			}
 		}
 	}
-	farBytes := heap.Stats().FarPages * sfm.PageSize
+	var promotedBytes, farBytes int64
+	for i := range everFar {
+		if everFar[i] {
+			farBytes += sfm.PageSize
+		}
+		if promoted[i] {
+			promotedBytes += sfm.PageSize
+		}
+	}
 	res := Result{
 		Trace:        rec,
 		HeapStats:    heap.Stats(),
 		BackendStats: backend.Stats(),
 		Duration:     now,
 	}
-	if farBytes > 0 {
-		res.PromotionRate = PromotionRateOfTrace(promotedBytes, farBytes, now)
-	}
+	res.PromotionRate = PromotionRateOfTrace(promotedBytes, farBytes)
 	return res, nil
 }
 

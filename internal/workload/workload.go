@@ -248,15 +248,23 @@ func NewZipfAccess(seed int64, n int, s float64) *ZipfAccess {
 // Next returns the next page index.
 func (z *ZipfAccess) Next() int { return int(z.z.Uint64()) }
 
-// PromotionRateOfTrace computes the observed promotion rate from
-// promoted bytes over an interval: promotedBytes per minute divided
-// by far-memory bytes (§2.1's definition).
-func PromotionRateOfTrace(promotedBytes int64, farBytes int64, interval dram.Ps) float64 {
-	if farBytes == 0 || interval == 0 {
+// PromotionRateOfTrace computes the observed promotion rate of a far
+// memory trace: the fraction of the far-memory footprint that was
+// promoted (accessed) during the observation window — §2.1's
+// promotion-rate definition, the same quantity costmodel.Params'
+// PromotionRate parameterizes and validates to [0, 1]. Both arguments
+// count distinct bytes: promotedBytes is the far bytes promoted at
+// least once, farBytes the bytes that resided in far memory at any
+// point in the window, so promoted ⊆ far and the result is bounded
+// [0, 1]. (An earlier readout divided raw promoted bytes — counting
+// every re-promotion of the same page — by the instantaneous final
+// far footprint and linearly extrapolated a seconds-long window to a
+// per-minute figure, reporting rates in the thousands of percent.)
+func PromotionRateOfTrace(promotedBytes, farBytes int64) float64 {
+	if farBytes == 0 {
 		return 0
 	}
-	minutes := float64(interval) / float64(60*dram.Second)
-	return float64(promotedBytes) / minutes / float64(farBytes)
+	return float64(promotedBytes) / float64(farBytes)
 }
 
 // ColdFraction implements the Google observation the paper cites

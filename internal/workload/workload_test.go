@@ -150,15 +150,34 @@ func TestColdFractionMatchesGoogleObservation(t *testing.T) {
 }
 
 func TestPromotionRateOfTrace(t *testing.T) {
-	// 102.4 GB promoted in one minute over 512 GB far memory = 20%.
+	// 102.4 GB of distinct pages promoted out of 512 GB that went far
+	// = 20% of far memory accessed (§2.1).
 	promoted := int64(102.4e9)
 	far := int64(512e9)
-	got := PromotionRateOfTrace(promoted, far, 60*dram.Second)
+	got := PromotionRateOfTrace(promoted, far)
 	if math.Abs(got-0.20) > 0.001 {
 		t.Errorf("promotion rate = %.3f, want 0.20", got)
 	}
-	if PromotionRateOfTrace(1, 0, dram.Second) != 0 {
+	if PromotionRateOfTrace(1, 0) != 0 {
 		t.Error("zero far bytes should yield 0")
+	}
+}
+
+func TestWebFrontendPromotionRateBounded(t *testing.T) {
+	// The §2.1 promotion rate is a fraction of the far-memory footprint
+	// — distinct pages over distinct pages — so it can never exceed
+	// 100%. (The pre-fix readout reported thousands of percent.)
+	w := DefaultWebFrontend()
+	w.Queries = 1500
+	res, err := w.Run(sfm.NewCPUBackend(compress.NewLZFast(), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PromotionRate < 0 || res.PromotionRate > 1 {
+		t.Fatalf("promotion rate %.3f outside [0, 1]", res.PromotionRate)
+	}
+	if res.PromotionRate == 0 {
+		t.Fatal("workload with demand faults should observe a nonzero promotion rate")
 	}
 }
 
