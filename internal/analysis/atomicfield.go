@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// atomicFieldRule enforces the PR 2 race-class invariant: once any
+// code passes &s.f to a sync/atomic function, every other access to
+// that field anywhere in the module must also go through sync/atomic.
+// A single plain load next to an atomic store is exactly the data race
+// the telemetry counters were rewritten to avoid; the compiler accepts
+// it and -race only catches it when a test happens to interleave.
+//
+// The rule is cross-package: the atomic-use set is collected over the
+// whole program first, then every selector access is checked against
+// it. Struct-literal keys are not flagged (construction happens before
+// the value is shared); if a constructor really does race, -race is
+// the net underneath this rule.
+type atomicFieldRule struct{}
+
+// NewAtomicFieldRule returns the atomic-field rule.
+func NewAtomicFieldRule() Rule { return atomicFieldRule{} }
+
+func (atomicFieldRule) Name() string { return RuleAtomicField }
+
+func (atomicFieldRule) Check(p *Program) []Diagnostic {
+	type firstUse struct {
+		file string
+		line int
+	}
+	atomicFields := map[*types.Var]firstUse{}
+	// Selectors appearing as the &addr operand of a sync/atomic call
+	// are the sanctioned accesses.
+	sanctioned := map[*ast.SelectorExpr]bool{}
+
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if len(call.Args) == 0 {
+					return true
+				}
+				un, ok := call.Args[0].(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					return true
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fld := fieldOf(pkg, sel)
+				if fld == nil {
+					return true
+				}
+				sanctioned[sel] = true
+				if _, seen := atomicFields[fld]; !seen {
+					pos := p.Fset.Position(sel.Pos())
+					atomicFields[fld] = firstUse{file: p.relFile(sel.Pos()), line: pos.Line}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	var out []Diagnostic
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				fld := fieldOf(pkg, sel)
+				if fld == nil {
+					return true
+				}
+				use, isAtomic := atomicFields[fld]
+				if !isAtomic {
+					return true
+				}
+				out = append(out, p.diag(sel.Sel.Pos(), RuleAtomicField,
+					"field %s is accessed with sync/atomic at %s:%d; this plain access races with it",
+					fieldFullName(pkg, sel, fld), use.file, use.line))
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// calleeFunc resolves a call's target to a *types.Func when the callee
+// is a plain selector (pkg.F or x.M); nil otherwise.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// fieldOf resolves a selector expression to the struct field it
+// denotes, or nil when it denotes anything else (a method, a package
+// member, a qualified identifier).
+func fieldOf(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// fieldFullName renders "Struct.field" for diagnostics using the
+// selector's receiver type.
+func fieldFullName(pkg *Package, sel *ast.SelectorExpr, fld *types.Var) string {
+	if s, ok := pkg.Info.Selections[sel]; ok {
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			return named.Obj().Name() + "." + fld.Name()
+		}
+	}
+	return fld.Name()
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DefaultDeterminismPackages is the set of import paths whose non-test
+// code must stay bit-deterministic: the simulator stack plus the
+// experiment pipeline that renders the paper's tables. The
+// reproducibility bar is METICULOUS-style — the same binary at any
+// worker count must emit byte-identical tables — so wall-clock reads,
+// the global (unseeded) math/rand source, and map iteration order are
+// all banned here. corpus and costmodel are included because their
+// generators feed the Fig. 8 and §3 tables.
+var DefaultDeterminismPackages = []string{
+	"xfm/internal/dram",
+	"xfm/internal/memctrl",
+	"xfm/internal/nma",
+	"xfm/internal/sfm",
+	"xfm/internal/xfm",
+	"xfm/internal/experiments",
+	"xfm/internal/workload",
+	"xfm/internal/corpus",
+	"xfm/internal/costmodel",
+}
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from the process-global, unseeded source. Constructors (New,
+// NewSource, NewZipf) are exempt: routing randomness through an
+// explicitly seeded *rand.Rand is the sanctioned fix.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// wallClockFuncs are the time package functions that read the wall
+// clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// determinismRule flags nondeterminism sources in the simulator
+// packages: time.Now/Since/Until, global math/rand draws, and range
+// statements over maps (whose iteration order changes run to run). Map
+// ranges whose results are order-insensitive (commutative sums) or
+// sorted before use carry an //xfm:ignore with that justification.
+type determinismRule struct {
+	pkgs map[string]bool
+}
+
+// NewDeterminismRule returns the sim-determinism rule covering the
+// given import paths, defaulting to DefaultDeterminismPackages.
+func NewDeterminismRule(pkgs ...string) Rule {
+	if len(pkgs) == 0 {
+		pkgs = DefaultDeterminismPackages
+	}
+	m := map[string]bool{}
+	for _, p := range pkgs {
+		m[p] = true
+	}
+	return determinismRule{pkgs: m}
+}
+
+func (determinismRule) Name() string { return RuleDeterminism }
+
+func (r determinismRule) Check(p *Program) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range p.Packages {
+		if !r.pkgs[pkg.Path] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					// Any mention of a banned function is flagged — not
+					// just call sites — so `f := time.Now; f()` cannot
+					// smuggle a wall-clock read past the gate.
+					fn, ok := pkg.Info.Uses[n.Sel].(*types.Func)
+					if !ok || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+						return true
+					}
+					switch fn.Pkg().Path() {
+					case "time":
+						if wallClockFuncs[fn.Name()] {
+							out = append(out, p.diag(n.Pos(), RuleDeterminism,
+								"time.%s reads the wall clock; simulator output must be a pure function of its inputs",
+								fn.Name()))
+						}
+					case "math/rand", "math/rand/v2":
+						if globalRandFuncs[fn.Name()] {
+							out = append(out, p.diag(n.Pos(), RuleDeterminism,
+								"rand.%s draws from the global unseeded source; use rand.New(rand.NewSource(seed))",
+								fn.Name()))
+						}
+					}
+				case *ast.RangeStmt:
+					tv, ok := pkg.Info.Types[n.X]
+					if !ok {
+						return true
+					}
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						out = append(out, p.diag(n.Pos(), RuleDeterminism,
+							"range over a map iterates in nondeterministic order; iterate sorted keys instead"))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The //xfm: directive namespace.
+//
+//	//xfm:ignore <rule> <reason...>   suppress <rule> on this line and the next
+//	//xfm:hotpath                     (on a func decl) forbid allocation-prone constructs
+//	//xfm:guardedby <mu>              (on a struct field) field requires sibling mutex <mu>
+//
+// Malformed directives — unknown verbs, unknown rule names, a missing
+// ignore reason, guardedby naming a nonexistent or non-mutex sibling,
+// hotpath/guardedby floating away from a declaration — are themselves
+// diagnostics (rule "directive"), so a typo can never silently turn a
+// check off.
+
+// attachment records which declaration a comment group documents.
+type attachment struct {
+	fn     *ast.FuncDecl
+	field  *ast.Field
+	strct  *ast.StructType
+	isLine bool // field line comment (after the field) vs doc
+}
+
+// scanDirectives parses every //xfm: comment in pkg, populating
+// prog.hotpath, prog.guards, prog.suppressions, and
+// prog.directiveDiags.
+func scanDirectives(prog *Program, pkg *Package) {
+	for _, file := range pkg.Files {
+		attached := map[*ast.Comment]attachment{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Doc != nil {
+					for _, c := range n.Doc.List {
+						attached[c] = attachment{fn: n}
+					}
+				}
+			case *ast.StructType:
+				for _, f := range n.Fields.List {
+					for _, g := range []*ast.CommentGroup{f.Doc, f.Comment} {
+						if g == nil {
+							continue
+						}
+						for _, c := range g.List {
+							attached[c] = attachment{field: f, strct: n, isLine: g == f.Comment}
+						}
+					}
+				}
+			}
+			return true
+		})
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//xfm:")
+				if !ok {
+					continue
+				}
+				parseDirective(prog, pkg, c, text, attached[c])
+			}
+		}
+	}
+}
+
+func parseDirective(prog *Program, pkg *Package, c *ast.Comment, text string, at attachment) {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		prog.directiveDiags = append(prog.directiveDiags,
+			prog.diag(c.Pos(), RuleDirective, "empty //xfm: directive"))
+		return
+	}
+	verb, args := fields[0], fields[1:]
+	switch verb {
+	case "ignore":
+		parseIgnore(prog, c, args)
+	case "hotpath":
+		parseHotpath(prog, c, args, at)
+	case "guardedby":
+		parseGuardedBy(prog, pkg, c, args, at)
+	default:
+		prog.directiveDiags = append(prog.directiveDiags,
+			prog.diag(c.Pos(), RuleDirective,
+				"unknown directive //xfm:%s (want ignore, hotpath, or guardedby)", verb))
+	}
+}
+
+func parseIgnore(prog *Program, c *ast.Comment, args []string) {
+	if len(args) == 0 {
+		prog.directiveDiags = append(prog.directiveDiags,
+			prog.diag(c.Pos(), RuleDirective, "//xfm:ignore needs a rule name and a reason"))
+		return
+	}
+	rule := args[0]
+	if !knownRule(rule) {
+		prog.directiveDiags = append(prog.directiveDiags,
+			prog.diag(c.Pos(), RuleDirective,
+				"//xfm:ignore names unknown rule %q (known: %s)", rule, strings.Join(KnownRules, ", ")))
+		return
+	}
+	if len(args) < 2 {
+		prog.directiveDiags = append(prog.directiveDiags,
+			prog.diag(c.Pos(), RuleDirective,
+				"//xfm:ignore %s is missing a reason — every suppression must say why", rule))
+		return
+	}
+	prog.suppressions = append(prog.suppressions, suppression{
+		file:   prog.relFile(c.Pos()),
+		line:   prog.Fset.Position(c.Pos()).Line,
+		rule:   rule,
+		reason: strings.Join(args[1:], " "),
+	})
+}
+
+func parseHotpath(prog *Program, c *ast.Comment, args []string, at attachment) {
+	if len(args) != 0 {
+		prog.directiveDiags = append(prog.directiveDiags,
+			prog.diag(c.Pos(), RuleDirective, "//xfm:hotpath takes no arguments"))
+		return
+	}
+	if at.fn == nil {
+		prog.directiveDiags = append(prog.directiveDiags,
+			prog.diag(c.Pos(), RuleDirective,
+				"//xfm:hotpath is not attached to a function declaration"))
+		return
+	}
+	prog.hotpath[at.fn] = true
+}
+
+func parseGuardedBy(prog *Program, pkg *Package, c *ast.Comment, args []string, at attachment) {
+	if len(args) != 1 {
+		prog.directiveDiags = append(prog.directiveDiags,
+			prog.diag(c.Pos(), RuleDirective, "//xfm:guardedby takes exactly one argument: the sibling mutex field"))
+		return
+	}
+	if at.field == nil {
+		prog.directiveDiags = append(prog.directiveDiags,
+			prog.diag(c.Pos(), RuleDirective,
+				"//xfm:guardedby is not attached to a struct field"))
+		return
+	}
+	muName := args[0]
+	muIdent := findFieldIdent(at.strct, muName)
+	if muIdent == nil {
+		prog.directiveDiags = append(prog.directiveDiags,
+			prog.diag(c.Pos(), RuleDirective,
+				"//xfm:guardedby names nonexistent sibling field %q", muName))
+		return
+	}
+	muVar, _ := pkg.Info.Defs[muIdent].(*types.Var)
+	if muVar == nil || !isMutexType(muVar.Type()) {
+		prog.directiveDiags = append(prog.directiveDiags,
+			prog.diag(c.Pos(), RuleDirective,
+				"//xfm:guardedby field %q is not a sync.Mutex or sync.RWMutex", muName))
+		return
+	}
+	if len(at.field.Names) == 0 {
+		prog.directiveDiags = append(prog.directiveDiags,
+			prog.diag(c.Pos(), RuleDirective,
+				"//xfm:guardedby cannot annotate an embedded field"))
+		return
+	}
+	for _, name := range at.field.Names {
+		fv, _ := pkg.Info.Defs[name].(*types.Var)
+		if fv == nil {
+			continue
+		}
+		prog.guards[fv] = &Guard{Field: fv, Mu: muVar, MuName: muName}
+	}
+}
+
+func findFieldIdent(st *ast.StructType, name string) *ast.Ident {
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// isMutexType reports whether t is sync.Mutex, sync.RWMutex, or a
+// pointer to one.
+func isMutexType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// directiveRule surfaces the malformed-directive diagnostics collected
+// at load time.
+type directiveRule struct{}
+
+// NewDirectiveRule returns the rule reporting malformed //xfm:
+// directives.
+func NewDirectiveRule() Rule { return directiveRule{} }
+
+func (directiveRule) Name() string { return RuleDirective }
+
+func (directiveRule) Check(p *Program) []Diagnostic {
+	return append([]Diagnostic(nil), p.directiveDiags...)
+}

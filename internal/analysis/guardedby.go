@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// guardedByRule enforces //xfm:guardedby annotations: a field marked
+// `//xfm:guardedby mu` may only be read or written in a function that
+// has already called <base>.mu.Lock() (or RLock()) on the same base
+// expression earlier in its body. This is the ShardedBackend
+// invariant: shard.b is only touched between shard.mu.Lock/Unlock.
+//
+// The check is intraprocedural and position-ordered, not a full
+// lockset analysis: it demands a textually-preceding Lock on a
+// syntactically identical base path ("sh", "s.shards[si]"), and it
+// does not model Unlock, branches, or lock helpers. That bar is
+// deliberately simple — it catches the realistic mistake (a new method
+// touching a shard field with no locking at all) while staying
+// predictable; the rare legitimate exception (constructors before the
+// value escapes) carries an //xfm:ignore with its reason.
+type guardedByRule struct{}
+
+// NewGuardedByRule returns the guardedby rule.
+func NewGuardedByRule() Rule { return guardedByRule{} }
+
+func (guardedByRule) Name() string { return RuleGuardedBy }
+
+type lockEvent struct {
+	mu   *types.Var
+	base string
+	pos  token.Pos
+}
+
+func (guardedByRule) Check(p *Program) []Diagnostic {
+	if len(p.guards) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				out = append(out, checkGuardedFunc(p, pkg, fd)...)
+			}
+		}
+	}
+	return out
+}
+
+func checkGuardedFunc(p *Program, pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	// Pass 1: collect Lock/RLock calls on any guard mutex.
+	var locks []lockEvent
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		mu := fieldOf(pkg, muSel)
+		if mu == nil || !isGuardMutex(p, mu) {
+			return true
+		}
+		if base, ok := exprPath(muSel.X); ok {
+			locks = append(locks, lockEvent{mu: mu, base: base, pos: call.Pos()})
+		}
+		return true
+	})
+	// Pass 2: every access to a guarded field needs a preceding Lock of
+	// its mutex on the same base.
+	var out []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fld := fieldOf(pkg, sel)
+		if fld == nil {
+			return true
+		}
+		g, guarded := p.guards[fld]
+		if !guarded {
+			return true
+		}
+		base, renderable := exprPath(sel.X)
+		if renderable {
+			for _, l := range locks {
+				if l.mu == g.Mu && l.base == base && l.pos < sel.Pos() {
+					return true
+				}
+			}
+		}
+		out = append(out, p.diag(sel.Sel.Pos(), RuleGuardedBy,
+			"field %s is guarded by %q but no preceding %s.%s.Lock() in %s",
+			fieldFullName(pkg, sel, fld), g.MuName, baseOr(base, renderable), g.MuName, funcName(fd)))
+		return true
+	})
+	return out
+}
+
+func baseOr(base string, ok bool) string {
+	if !ok || base == "" {
+		return "<base>"
+	}
+	return base
+}
+
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if s, ok := exprPath(t); ok {
+			return s + "." + fd.Name.Name
+		}
+		if st, ok := t.(*ast.StarExpr); ok {
+			if s, ok := exprPath(st.X); ok {
+				return "(*" + s + ")." + fd.Name.Name
+			}
+		}
+	}
+	return fd.Name.Name
+}
+
+// isGuardMutex reports whether mu is the mutex of any guard.
+func isGuardMutex(p *Program, mu *types.Var) bool {
+	for _, g := range p.guards {
+		if g.Mu == mu {
+			return true
+		}
+	}
+	return false
+}
+
+// exprPath renders a side-effect-free access path (identifiers,
+// selectors, indexes, derefs) to a canonical string so two mentions of
+// the same lvalue compare equal. Expressions containing calls or
+// literals are not renderable.
+func exprPath(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		x, ok := exprPath(e.X)
+		if !ok {
+			return "", false
+		}
+		return x + "." + e.Sel.Name, true
+	case *ast.IndexExpr:
+		x, ok := exprPath(e.X)
+		if !ok {
+			return "", false
+		}
+		idx, ok := indexPath(e.Index)
+		if !ok {
+			return "", false
+		}
+		return x + "[" + idx + "]", true
+	case *ast.ParenExpr:
+		return exprPath(e.X)
+	case *ast.StarExpr:
+		x, ok := exprPath(e.X)
+		if !ok {
+			return "", false
+		}
+		return "*" + x, true
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			x, ok := exprPath(e.X)
+			if !ok {
+				return "", false
+			}
+			return "&" + x, true
+		}
+	}
+	return "", false
+}
+
+func indexPath(e ast.Expr) (string, bool) {
+	if s, ok := exprPath(e); ok {
+		return s, true
+	}
+	if lit, ok := e.(*ast.BasicLit); ok {
+		return lit.Value, true
+	}
+	return "", false
+}

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotpathAllocRule enforces the PR 3 zero-allocs-per-page bar on
+// functions annotated //xfm:hotpath. It flags the construct classes
+// that historically reintroduced allocations into the swap path:
+//
+//   - any call into package fmt (formatting always allocates)
+//   - map, chan, and closure creation (make, literals, func literals,
+//     go statements)
+//   - append to a slice declared fresh in the same function with no
+//     reserved capacity (the growth path allocates per page)
+//   - implicit interface boxing of a non-pointer concrete value
+//     (the conversion heap-allocates the value's copy)
+//
+// The check is shallow by design: it looks at the annotated function's
+// own body, not its callees. The allocs/op regression tests in
+// compress/scratch_test.go are the dynamic net underneath; this rule
+// exists so the diff review catches the regression before a benchmark
+// has to.
+type hotpathAllocRule struct{}
+
+// NewHotpathAllocRule returns the hotpath-alloc rule.
+func NewHotpathAllocRule() Rule { return hotpathAllocRule{} }
+
+func (hotpathAllocRule) Name() string { return RuleHotpathAlloc }
+
+func (hotpathAllocRule) Check(p *Program) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !p.hotpath[fd] {
+					continue
+				}
+				out = append(out, checkHotpathFunc(p, pkg, fd)...)
+			}
+		}
+	}
+	return out
+}
+
+func checkHotpathFunc(p *Program, pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, p.diag(pos, RuleHotpathAlloc, format, args...))
+	}
+	fresh := freshSlices(pkg, fd)
+	sig, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotpathCall(pkg, fd, n, fresh, report)
+		case *ast.CompositeLit:
+			if tv, ok := pkg.Info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					report(n.Pos(), "map literal allocates in hot path %s", funcName(fd))
+				}
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "closure allocates in hot path %s", funcName(fd))
+			return false // do not descend: the closure body runs elsewhere
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement allocates a goroutine in hot path %s", funcName(fd))
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if lt, ok := pkg.Info.Types[lhs]; ok {
+					checkBoxing(pkg, n.Rhs[i], lt.Type, "assignment", fd, report)
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil {
+				results := sig.Type().(*types.Signature).Results()
+				if results.Len() == len(n.Results) {
+					for i, r := range n.Results {
+						checkBoxing(pkg, r, results.At(i).Type(), "return", fd, report)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkHotpathCall(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr,
+	fresh map[*types.Var]bool, report func(token.Pos, string, ...any)) {
+	// Calls into package fmt.
+	if fn := calleeFunc(pkg, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call.Pos(), "fmt.%s allocates in hot path %s", fn.Name(), funcName(fd))
+		return
+	}
+	// Builtins: make(map/chan), append to fresh slices.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if len(call.Args) > 0 {
+					if tv, ok := pkg.Info.Types[call.Args[0]]; ok {
+						switch tv.Type.Underlying().(type) {
+						case *types.Map:
+							report(call.Pos(), "make(map) allocates in hot path %s", funcName(fd))
+						case *types.Chan:
+							report(call.Pos(), "make(chan) allocates in hot path %s", funcName(fd))
+						}
+					}
+				}
+			case "append":
+				if len(call.Args) > 0 {
+					if dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+						if v, ok := pkg.Info.Uses[dst].(*types.Var); ok && fresh[v] {
+							report(call.Pos(),
+								"append to %s grows a fresh slice with no reserved capacity in hot path %s",
+								dst.Name, funcName(fd))
+						}
+					}
+				}
+			}
+			return
+		}
+	}
+	// Interface boxing of call arguments.
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // conversion or builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(pkg, arg, pt, "argument", fd, report)
+	}
+}
+
+// checkBoxing reports expr when assigning it to target implicitly
+// boxes a non-pointer concrete value into an interface.
+func checkBoxing(pkg *Package, expr ast.Expr, target types.Type, ctx string,
+	fd *ast.FuncDecl, report func(token.Pos, string, ...any)) {
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Value != nil { // constants are boxed from static data
+		return
+	}
+	t := tv.Type
+	if t == nil {
+		return
+	}
+	if b, ok := t.(*types.Basic); ok && (b.Kind() == types.UntypedNil || b.Info()&types.IsUntyped != 0) {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Interface:
+		return // interface-to-interface carries the existing box
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: the interface data word holds it directly
+	}
+	report(expr.Pos(), "%s boxes %s into %s (heap-allocates) in hot path %s",
+		ctx, types.TypeString(t, types.RelativeTo(pkg.Types)),
+		types.TypeString(target, types.RelativeTo(pkg.Types)), funcName(fd))
+}
+
+// freshSlices finds slice variables declared inside fd with no
+// reserved capacity: `var s []T`, `s := []T{...}`, or
+// `s := make([]T, n)` (two-arg make). Appending to these grows per
+// call; hot paths must reserve capacity up front or write into a
+// caller-provided buffer.
+func freshSlices(pkg *Package, fd *ast.FuncDecl) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	mark := func(id *ast.Ident) {
+		if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+			if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+				out[v] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					mark(name)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch rhs := ast.Unparen(n.Rhs[i]).(type) {
+				case *ast.CompositeLit:
+					mark(id)
+				case *ast.CallExpr:
+					if fn, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok {
+						if b, ok := pkg.Info.Uses[fn].(*types.Builtin); ok &&
+							b.Name() == "make" && len(rhs.Args) < 3 {
+							mark(id)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,31 @@
+// Package atomicfix seeds an atomic-field violation: n is updated via
+// sync/atomic in Inc but read with a plain load in Bad — the PR 2
+// telemetry race class.
+package atomicfix
+
+import "sync/atomic"
+
+// Counter mixes an atomic counter with a plain field.
+type Counter struct {
+	n    int64
+	name string
+}
+
+// Inc makes n an atomic field everywhere.
+func (c *Counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+// Bad reads n without sync/atomic: the seeded violation.
+func (c *Counter) Bad() int64 {
+	return c.n // want atomic-field
+}
+
+// Worse writes n without sync/atomic.
+func (c *Counter) Worse() {
+	c.n = 0 // want atomic-field
+}
+
+// Good reads n atomically.
+func (c *Counter) Good() int64 { return atomic.LoadInt64(&c.n) }
+
+// Name touches a field no atomic op ever touches: not a violation.
+func (c *Counter) Name() string { return c.name }

@@ -1,0 +1,3 @@
+module atomicfix
+
+go 1.22

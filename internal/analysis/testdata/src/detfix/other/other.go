@@ -1,0 +1,8 @@
+// Package other is NOT in the rule's covered-package list, so its
+// wall-clock read must produce no diagnostic.
+package other
+
+import "time"
+
+// Stamp may read the clock: this package is outside the sim core.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,34 @@
+// Package sim is covered by the sim-determinism rule in the fixture
+// test and seeds all three nondeterminism classes: wall-clock reads,
+// global math/rand, and iteration over a map.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Tick reads the wall clock.
+func Tick() time.Time {
+	return time.Now() // want sim-determinism
+}
+
+// Jitter draws from the unseeded global generator.
+func Jitter() int {
+	return rand.Intn(10) // want sim-determinism
+}
+
+// Sum folds a map in iteration order.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want sim-determinism
+		total += v
+	}
+	return total
+}
+
+// SeededJitter uses an explicitly seeded source: the sanctioned fix.
+func SeededJitter(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}

@@ -1,0 +1,30 @@
+// Package dirfix exercises every malformed //xfm: directive shape; a
+// typo in an annotation must surface as a diagnostic, never as a
+// silently unenforced invariant.
+package dirfix
+
+import "sync"
+
+// Box carries three broken guardedby annotations.
+type Box struct {
+	mu   sync.Mutex
+	name string
+	a    int //xfm:guardedby lock
+	b    int //xfm:guardedby name
+	c    int //xfm:guardedby
+}
+
+//xfm:hotpth
+func Typo() {}
+
+//xfm:hotpath now
+func Args() {}
+
+//xfm:hotpath
+var floating int
+
+//xfm:ignore no-such-rule because reasons
+func IgnoreUnknown() {}
+
+//xfm:ignore hotpath-alloc
+func IgnoreNoReason() {}

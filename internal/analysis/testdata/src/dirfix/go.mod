@@ -1,0 +1,3 @@
+module dirfix
+
+go 1.22

@@ -1,0 +1,3 @@
+module guardfix
+
+go 1.22

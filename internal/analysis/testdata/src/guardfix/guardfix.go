@@ -1,0 +1,41 @@
+// Package guardfix seeds guardedby violations: table is annotated as
+// guarded by mu, and two methods touch it without the lock.
+package guardfix
+
+import "sync"
+
+// Store is a mutex-guarded map, the ShardedBackend shape.
+type Store struct {
+	mu    sync.Mutex
+	table map[int]int //xfm:guardedby mu
+}
+
+// Get holds the lock: no violation.
+func (s *Store) Get(k int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table[k]
+}
+
+// BadGet reads the table with no lock at all: the seeded violation.
+func (s *Store) BadGet(k int) int {
+	return s.table[k] // want guardedby
+}
+
+// BadPut locks only after the write; a textually-later Lock does not
+// guard an earlier access.
+func (s *Store) BadPut(k, v int) {
+	s.table[k] = v // want guardedby
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// RGet holds a read lock via RLock-style naming on a plain Mutex is
+// not possible; this variant just proves a second locked accessor
+// stays clean.
+func (s *Store) RGet(k int) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.table[k]
+	s.mu.Unlock()
+	return v, ok
+}

@@ -1,0 +1,3 @@
+module hotfix
+
+go 1.22

@@ -1,0 +1,45 @@
+// Package hotfix seeds hotpath-alloc violations in an annotated
+// function: fmt formatting, append onto a fresh slice, map/closure
+// creation, and interface boxing. It doubles as the deliberately
+// broken fixture the CI-gate test runs xfmlint against.
+package hotfix
+
+import "fmt"
+
+// Describe is annotated hot but allocates in five distinct ways.
+//
+//xfm:hotpath
+func Describe(vals []int64) string {
+	var out []string
+	for _, v := range vals {
+		s := fmt.Sprintf("v=%d", v) // want hotpath-alloc
+		out = append(out, s)        // want hotpath-alloc
+	}
+	seen := make(map[string]bool)       // want hotpath-alloc
+	f := func() int { return len(out) } // want hotpath-alloc
+	_ = f
+	_ = seen
+	var sink any
+	sink = vals[0] // want hotpath-alloc
+	_ = sink
+	if len(out) > 0 {
+		return out[0]
+	}
+	return ""
+}
+
+// Fill appends into a caller-provided slice: capacity is the caller's
+// problem, so this annotated function is clean.
+//
+//xfm:hotpath
+func Fill(dst []int64, n int) []int64 {
+	for i := 0; i < n; i++ {
+		dst = append(dst, int64(i))
+	}
+	return dst
+}
+
+// Cold is not annotated, so its allocations are fine.
+func Cold() string {
+	return fmt.Sprintf("cold %v", make(map[int]int))
+}

@@ -1,0 +1,3 @@
+module suppressfix
+
+go 1.22

@@ -140,6 +140,8 @@ func lzfExtendMatch(src []byte, a, b int) int {
 }
 
 // Compress implements Codec.
+//
+//xfm:hotpath
 func (z *LZFast) Compress(dst, src []byte) []byte {
 	dst = appendUvarint(dst, uint64(len(src)))
 	if len(src) == 0 {
@@ -278,6 +280,8 @@ func growSlack(dst []byte, n int) []byte {
 }
 
 // Decompress implements Codec.
+//
+//xfm:hotpath
 func (z *LZFast) Decompress(dst, src []byte) ([]byte, error) {
 	origLen, n, ok := readUvarint(src)
 	if !ok {

@@ -116,6 +116,8 @@ func (x *XDeflate) MaxCompressedLen(n int) int {
 }
 
 // Compress implements Codec.
+//
+//xfm:hotpath
 func (x *XDeflate) Compress(dst, src []byte) []byte {
 	dst = appendUvarint(dst, uint64(len(src)))
 	if len(src) == 0 {
@@ -198,6 +200,8 @@ func (x *XDeflate) encodeHuffman(st *xdEncState, src []byte) []byte {
 }
 
 // Decompress implements Codec.
+//
+//xfm:hotpath
 func (x *XDeflate) Decompress(dst, src []byte) ([]byte, error) {
 	origLen, n, ok := readUvarint(src)
 	if !ok {

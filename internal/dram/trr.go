@@ -65,9 +65,13 @@ func (t *TRRTracker) RecordActivation(row int) {
 	// Sampling table: evict the coldest entry when full (simplified
 	// in-DRAM sampler).
 	if _, tracked := t.counters[row]; !tracked && len(t.counters) >= t.cfg.TableSize {
+		// Tie-break equal counts on the lower row index: picking the
+		// first minimum the map handed out made the eviction — and with
+		// it every downstream aggressor detection — depend on map
+		// iteration order.
 		coldest, min := -1, int(^uint(0)>>1)
-		for r, c := range t.counters {
-			if c < min {
+		for r, c := range t.counters { //xfm:ignore sim-determinism min+row tie-break makes the fold order-insensitive
+			if c < min || (c == min && r < coldest) {
 				coldest, min = r, c
 			}
 		}
@@ -99,9 +103,7 @@ func (t *TRRTracker) OnREF() (freeSlots int) {
 // OnRetentionBoundary clears the activation window (counters reset
 // every retention period).
 func (t *TRRTracker) OnRetentionBoundary() {
-	for r := range t.counters {
-		delete(t.counters, r)
-	}
+	clear(t.counters)
 }
 
 // Stats returns a snapshot.

@@ -31,6 +31,12 @@ func Workers(n int) int {
 // state may be written without synchronization. Panics inside fn
 // propagate to the caller (the first one observed; others are
 // dropped).
+//
+// ForEach is on the batch hot path: its only allocations are the
+// one-time pool spin-up (worker closure + goroutines), amortized over
+// the whole batch; the per-index loop allocates nothing.
+//
+//xfm:hotpath
 func ForEach(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -65,6 +71,7 @@ func ForEach(n, workers int, fn func(i int)) {
 		panicOnce sync.Once
 		panicVal  any
 	)
+	//xfm:ignore hotpath-alloc one closure per batch, amortized over >= workers*8 pages
 	body := func() {
 		defer wg.Done()
 		claimed := 0
@@ -91,7 +98,7 @@ func ForEach(n, workers int, fn func(i int)) {
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go body()
+		go body() //xfm:ignore hotpath-alloc pool spin-up is once per batch, not per page
 	}
 	wg.Wait()
 	if panicVal != nil {

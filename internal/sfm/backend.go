@@ -132,6 +132,8 @@ func NewCPUBackend(codec compress.Codec, regionBytes int64) *CPUBackend {
 // so the common early-mismatch case (an ordinary page) exits after one
 // cache line and the all-same case (a zero page) runs four loads per
 // branch instead of one.
+//
+//xfm:hotpath
 func sameFilledWord(data []byte) (uint64, bool) {
 	w0 := binary.LittleEndian.Uint64(data)
 	off := 8
@@ -153,8 +155,11 @@ func sameFilledWord(data []byte) (uint64, bool) {
 }
 
 // SwapOut implements Backend.
+//
+//xfm:hotpath
 func (b *CPUBackend) SwapOut(now dram.Ps, id PageID, data []byte) error {
 	if len(data) != PageSize {
+		//xfm:ignore hotpath-alloc cold validation path, only reachable by a caller bug
 		return fmt.Errorf("sfm: page %d has %d bytes, want %d", id, len(data), PageSize)
 	}
 	if _, dup := b.index.Get(id); dup {
@@ -215,8 +220,11 @@ func (b *CPUBackend) SwapOut(now dram.Ps, id PageID, data []byte) error {
 
 // SwapIn implements Backend. The CPU backend ignores the offload hint:
 // every swap-in runs on the CPU.
+//
+//xfm:hotpath
 func (b *CPUBackend) SwapIn(now dram.Ps, id PageID, dst []byte, offload bool) error {
 	if len(dst) != PageSize {
+		//xfm:ignore hotpath-alloc cold validation path, only reachable by a caller bug
 		return fmt.Errorf("sfm: dst has %d bytes, want %d", len(dst), PageSize)
 	}
 	e, ok := b.index.Get(id)
@@ -245,6 +253,7 @@ func (b *CPUBackend) SwapIn(now dram.Ps, id PageID, dst []byte, offload bool) er
 			return err
 		}
 		if len(out) != PageSize {
+			//xfm:ignore hotpath-alloc cold corruption path; a short page is already a data-loss event
 			return fmt.Errorf("sfm: page %d decompressed to %d bytes", id, len(out))
 		}
 	} else {

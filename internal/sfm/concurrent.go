@@ -14,7 +14,7 @@ import (
 // internal buffer across the lock boundary.
 type ConcurrentHeap struct {
 	mu   sync.Mutex
-	heap *Heap
+	heap *Heap //xfm:guardedby mu
 }
 
 // NewConcurrentHeap wraps heap.

@@ -29,11 +29,15 @@ type ShardedBackend struct {
 
 type backendShard struct {
 	mu sync.Mutex
-	b  *CPUBackend
+	// b owns the shard's page table and zsmalloc region; CPUBackend is
+	// single-owner, so every touch must hold the shard lock.
+	b *CPUBackend //xfm:guardedby mu
 	// stored mirrors the shard's StoredPages into the
 	// sfm_shard_stored_pages{shard} gauge; cached here so the batch
-	// path never takes the registry's label lookup.
-	stored *telemetry.Gauge
+	// path never takes the registry's label lookup. SetInt itself is
+	// atomic, but the value written is read from b, so updates happen
+	// under the same lock.
+	stored *telemetry.Gauge //xfm:guardedby mu
 	// pad spaces the shard locks apart so they do not false-share a
 	// cache line when every worker is spinning on a different shard.
 	_ [64]byte
@@ -62,7 +66,9 @@ func NewShardedBackend(codec compress.Codec, regionBytes int64, nShards, workers
 		workers: parallel.Workers(workers),
 	}
 	for i := range s.shards {
+		//xfm:ignore guardedby construction: the backend has not escaped to any other goroutine yet
 		s.shards[i].b = NewCPUBackend(codec, perShard)
+		//xfm:ignore guardedby construction: the backend has not escaped to any other goroutine yet
 		s.shards[i].stored = gShardStoredPages.With(strconv.Itoa(i))
 	}
 	return s

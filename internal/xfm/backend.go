@@ -137,6 +137,8 @@ func (b *Backend) regionAddr(id sfm.PageID) int64 {
 // read from its local rows (source group) and its compressed form is
 // written into the SFM region (destination group). If the NMA rejects
 // the request the CPU performs the compression (CPU_Fallback).
+//
+//xfm:hotpath
 func (b *Backend) SwapOut(now dram.Ps, id sfm.PageID, data []byte) error {
 	if err := b.inner.SwapOut(now, id, data); err != nil {
 		return err
@@ -166,6 +168,8 @@ func (b *Backend) SwapOut(now dram.Ps, id sfm.PageID, data []byte) error {
 // default unless the do_offload parameter is asserted" (§6) — because
 // the NMA datapath adds at least 2×tREFI of latency (Fig. 10).
 // Prefetches (offload=true) go to the NMA.
+//
+//xfm:hotpath
 func (b *Backend) SwapIn(now dram.Ps, id sfm.PageID, dst []byte, offload bool) error {
 	if err := b.inner.SwapIn(now, id, dst, offload); err != nil {
 		return err
@@ -176,6 +180,7 @@ func (b *Backend) SwapIn(now dram.Ps, id sfm.PageID, dst []byte, offload bool) e
 			b.recordECC(corrected, bad)
 			delete(b.parity, id)
 			if bad > 0 {
+				//xfm:ignore hotpath-alloc cold path: an uncorrectable ECC word is already a data-loss event
 				return fmt.Errorf("xfm: page %d has %d uncorrectable ECC words", id, bad)
 			}
 		}
@@ -222,6 +227,7 @@ func (b *Backend) recordECC(corrected, bad int) {
 	gmECCUncorrectable.Add(int64(bad))
 }
 
+//xfm:hotpath
 func (b *Backend) submitOrFallback(req nma.Request, kind nma.OpKind) {
 	cfg := b.driver.Sim().Config()
 	// Upper bound: every submitted-but-unobserved offload may still
