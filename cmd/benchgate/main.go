@@ -36,6 +36,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: no BENCH_*.json artifacts in %s\n", *dir)
 		os.Exit(1)
 	}
+	// Environment mismatches (GOMAXPROCS above all) make the pages/s
+	// comparison meaningless, so shout before the verdict: a gate that
+	// "passes" across a core-count change is not a gate.
+	if warns := bench.EnvWarnings(baseline, results); len(warns) > 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: ============ ENVIRONMENT MISMATCH ============")
+		for _, w := range warns {
+			fmt.Fprintln(os.Stderr, "benchgate: WARNING:", w)
+		}
+		fmt.Fprintln(os.Stderr, "benchgate: ==============================================")
+	}
 	lines, err := bench.Gate(baseline, results, *maxRegress)
 	for _, l := range lines {
 		fmt.Println(l)

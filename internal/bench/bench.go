@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"xfm/internal/compress"
@@ -33,16 +34,35 @@ type Result struct {
 	CompressionRatio float64 `json:"compression_ratio"`
 	// PagesPerOp is the batch size (pages moved per op).
 	PagesPerOp int `json:"pages_per_op"`
+	// Measurement environment. pages/s depends heavily on the core
+	// count, so the gate (cmd/benchgate) warns loudly when a baseline
+	// recorded at one GOMAXPROCS judges a run at another. Zero/empty
+	// values mean "recorded before these fields existed".
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	GoVersion  string `json:"go_version,omitempty"`
+	// Workers is the scenario's worker bound (0 = GOMAXPROCS) and
+	// Shards its shard count (0 = unsharded) — the scenario's own
+	// parallelism config, recorded so a baseline mismatch is visible.
+	Workers int `json:"workers"`
+	Shards  int `json:"shards"`
 }
 
-// scenario is a named swap-path configuration.
+// scenario is a named swap-path configuration. shards/workers record
+// the backend's parallelism config; ids, when set, picks the page ids
+// (the skewed scenario routes every page to one shard with it).
 type scenario struct {
-	name  string
-	codec func() compress.Codec
-	mk    func() sfm.Backend
+	name    string
+	codec   func() compress.Codec
+	mk      func() sfm.Backend
+	shards  int
+	workers int
+	ids     func(i int) sfm.PageID
 }
 
 const benchPages = 256
+
+// benchShards is the shard count of the sharded scenarios.
+const benchShards = 16
 
 func scenarios() []scenario {
 	return []scenario{
@@ -57,12 +77,43 @@ func scenarios() []scenario {
 			mk:    func() sfm.Backend { return sfm.NewCPUBackend(compress.NewLZFast(), 0) },
 		},
 		{
-			name:  "swap_parallel_xdeflate",
-			codec: func() compress.Codec { return compress.NewXDeflate() },
-			mk:    func() sfm.Backend { return sfm.NewShardedBackend(compress.NewXDeflate(), 0, 16, 0) },
+			name:   "swap_parallel_xdeflate",
+			codec:  func() compress.Codec { return compress.NewXDeflate() },
+			mk:     func() sfm.Backend { return sfm.NewShardedBackend(compress.NewXDeflate(), 0, benchShards, 0) },
+			shards: benchShards,
+		},
+		{
+			name:   "swap_sharded_lzfast",
+			codec:  func() compress.Codec { return compress.NewLZFast() },
+			mk:     func() sfm.Backend { return sfm.NewShardedBackend(compress.NewLZFast(), 0, benchShards, 0) },
+			shards: benchShards,
+		},
+		{
+			// Worst-case routing: every page hashes to shard 0. A
+			// shard-granular engine degrades to serial here; the
+			// page-granular pipeline should stay within ~1.5× of the
+			// uniform swap_sharded_lzfast scenario.
+			name:   "swap_skewed_lzfast",
+			codec:  func() compress.Codec { return compress.NewLZFast() },
+			mk:     func() sfm.Backend { return sfm.NewShardedBackend(compress.NewLZFast(), 0, benchShards, 0) },
+			shards: benchShards,
+			ids:    skewedID,
 		},
 	}
 }
+
+// skewedIDs caches the first benchPages ids that hash to shard 0.
+var skewedIDs = func() []sfm.PageID {
+	ids := make([]sfm.PageID, 0, benchPages)
+	for id := int64(0); len(ids) < benchPages; id++ {
+		if sfm.ShardIndexFor(sfm.PageID(id), benchShards) == 0 {
+			ids = append(ids, sfm.PageID(id))
+		}
+	}
+	return ids
+}()
+
+func skewedID(i int) sfm.PageID { return skewedIDs[i] }
 
 // Names lists the available scenario names in run order.
 func Names() []string {
@@ -74,13 +125,19 @@ func Names() []string {
 	return out
 }
 
-// pages builds the benchmark working set: compressible key-value pages,
-// the same shape bench_test.go uses.
-func pages() ([]sfm.PageOut, []sfm.PageIn) {
+// pages builds the benchmark working set: compressible key-value
+// pages, the same shape bench_test.go uses. ids, when non-nil,
+// overrides the default sequential page ids (page content still keys
+// off the position, so every scenario compresses identical bytes).
+func pages(ids func(i int) sfm.PageID) ([]sfm.PageOut, []sfm.PageIn) {
 	outs := make([]sfm.PageOut, benchPages)
 	ins := make([]sfm.PageIn, benchPages)
 	for i := range outs {
-		outs[i] = sfm.PageOut{ID: sfm.PageID(i), Data: corpus.KeyValue(int64(i), sfm.PageSize)}
+		id := sfm.PageID(i)
+		if ids != nil {
+			id = ids(i)
+		}
+		outs[i] = sfm.PageOut{ID: id, Data: corpus.KeyValue(int64(i), sfm.PageSize)}
 		ins[i] = sfm.PageIn{ID: outs[i].ID, Dst: make([]byte, sfm.PageSize)}
 	}
 	return outs, ins
@@ -88,7 +145,7 @@ func pages() ([]sfm.PageOut, []sfm.PageIn) {
 
 // run measures one scenario.
 func run(sc scenario) (Result, error) {
-	outs, ins := pages()
+	outs, ins := pages(sc.ids)
 	backend := sc.mk()
 	var failure error
 	br := testing.Benchmark(func(b *testing.B) {
@@ -128,7 +185,55 @@ func run(sc scenario) (Result, error) {
 		AllocsPerOp:      float64(br.AllocsPerOp()),
 		CompressionRatio: float64(raw) / float64(comp),
 		PagesPerOp:       benchPages,
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		GoVersion:        runtime.Version(),
+		Workers:          sc.workers,
+		Shards:           sc.shards,
 	}, nil
+}
+
+// EnvWarnings compares the measurement environments of a baseline and
+// a candidate run and returns one human-readable warning per
+// mismatch. pages/s scales with the core count, so a baseline
+// recorded at GOMAXPROCS=8 judging a GOMAXPROCS=1 candidate (or vice
+// versa) makes the gate either vacuous or a guaranteed failure;
+// cmd/benchgate prints these loudly rather than failing, because the
+// fix (regenerate the baseline on the gating machine) is human work.
+// Entries recorded before the environment fields existed (zero
+// GoMaxProcs) produce a warning of their own.
+func EnvWarnings(baseline Baseline, results []Result) []string {
+	got := map[string]Result{}
+	for _, r := range results {
+		got[r.Name] = r
+	}
+	var warns []string
+	for _, b := range baseline.Scenarios {
+		r, ok := got[b.Name]
+		if !ok {
+			continue // Gate reports missing scenarios as failures
+		}
+		if b.GoMaxProcs == 0 {
+			warns = append(warns, fmt.Sprintf(
+				"%s: baseline predates environment recording (no gomaxprocs); regenerate bench_baseline.json", b.Name))
+			continue
+		}
+		if b.GoMaxProcs != r.GoMaxProcs {
+			warns = append(warns, fmt.Sprintf(
+				"%s: GOMAXPROCS mismatch: baseline measured at %d, this run at %d — pages/s are not comparable; regenerate the baseline on this machine",
+				b.Name, b.GoMaxProcs, r.GoMaxProcs))
+		}
+		if b.GoVersion != "" && b.GoVersion != r.GoVersion {
+			warns = append(warns, fmt.Sprintf(
+				"%s: Go version differs: baseline %s, this run %s",
+				b.Name, b.GoVersion, r.GoVersion))
+		}
+		if b.Workers != r.Workers || b.Shards != r.Shards {
+			warns = append(warns, fmt.Sprintf(
+				"%s: scenario config differs: baseline workers=%d shards=%d, this run workers=%d shards=%d",
+				b.Name, b.Workers, b.Shards, r.Workers, r.Shards))
+		}
+	}
+	return warns
 }
 
 // RunAll measures every scenario.

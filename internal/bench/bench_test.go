@@ -3,6 +3,8 @@ package bench
 import (
 	"strings"
 	"testing"
+
+	"xfm/internal/sfm"
 )
 
 func baselineOf(rs ...Result) Baseline { return Baseline{Scenarios: rs} }
@@ -46,7 +48,8 @@ func TestGateFailsOnMissingScenario(t *testing.T) {
 func TestJSONRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	in := []Result{
-		{Name: "x", PagesPerSec: 123.5, NsPerOp: 4, AllocsPerOp: 5, CompressionRatio: 2.5, PagesPerOp: 256},
+		{Name: "x", PagesPerSec: 123.5, NsPerOp: 4, AllocsPerOp: 5, CompressionRatio: 2.5, PagesPerOp: 256,
+			GoMaxProcs: 8, GoVersion: "go1.24.0", Workers: 4, Shards: 16},
 		{Name: "y", PagesPerSec: 9, PagesPerOp: 256},
 	}
 	if err := WriteJSON(dir, in); err != nil {
@@ -70,8 +73,64 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+func TestEnvWarnings(t *testing.T) {
+	base := baselineOf(Result{Name: "a", GoMaxProcs: 8, GoVersion: "go1.24.0", Workers: 0, Shards: 16})
+	same := Result{Name: "a", GoMaxProcs: 8, GoVersion: "go1.24.0", Workers: 0, Shards: 16}
+	if w := EnvWarnings(base, []Result{same}); len(w) != 0 {
+		t.Fatalf("matching environments warned: %v", w)
+	}
+
+	mism := same
+	mism.GoMaxProcs = 1
+	w := EnvWarnings(base, []Result{mism})
+	if len(w) != 1 || !strings.Contains(w[0], "GOMAXPROCS mismatch") {
+		t.Fatalf("GOMAXPROCS 8 vs 1 should warn once, got %v", w)
+	}
+
+	old := baselineOf(Result{Name: "a"}) // pre-environment baseline
+	w = EnvWarnings(old, []Result{same})
+	if len(w) != 1 || !strings.Contains(w[0], "predates environment recording") {
+		t.Fatalf("zero-GoMaxProcs baseline should warn, got %v", w)
+	}
+
+	cfg := same
+	cfg.Workers = 4
+	cfg.GoVersion = "go1.25.0"
+	w = EnvWarnings(base, []Result{cfg})
+	if len(w) != 2 {
+		t.Fatalf("version + config mismatch should warn twice, got %v", w)
+	}
+
+	// Scenarios missing from the results are the Gate's problem.
+	if w := EnvWarnings(base, nil); len(w) != 0 {
+		t.Fatalf("missing scenario warned: %v", w)
+	}
+}
+
+func TestSkewedIDsAllOnOneShard(t *testing.T) {
+	if len(skewedIDs) != benchPages {
+		t.Fatalf("got %d skewed ids, want %d", len(skewedIDs), benchPages)
+	}
+	seen := map[sfm.PageID]bool{}
+	for _, id := range skewedIDs {
+		if si := sfm.ShardIndexFor(id, benchShards); si != 0 {
+			t.Fatalf("id %d routes to shard %d, want 0", id, si)
+		}
+		if seen[id] {
+			t.Fatalf("id %d appears twice", id)
+		}
+		seen[id] = true
+	}
+}
+
 func TestScenarioNamesStable(t *testing.T) {
-	want := []string{"swap_serial_xdeflate", "swap_serial_lzfast", "swap_parallel_xdeflate"}
+	want := []string{
+		"swap_serial_xdeflate",
+		"swap_serial_lzfast",
+		"swap_parallel_xdeflate",
+		"swap_sharded_lzfast",
+		"swap_skewed_lzfast",
+	}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("got %v, want %v", got, want)

@@ -13,6 +13,13 @@ type Tree[K any, V any] struct {
 	root *node[K, V]
 	size int
 	less func(a, b K) bool
+	// free chains nodes released by Delete (via their right pointers)
+	// for reuse by Put. The index of a swap backend sees one Put and
+	// one Delete per page round trip, so recycling nodes makes the
+	// steady-state batch path allocation-free; the list is bounded by
+	// the tree's high-water size. Keys and values are zeroed on
+	// release so recycled nodes retain no references.
+	free *node[K, V]
 }
 
 type node[K any, V any] struct {
@@ -57,9 +64,35 @@ func (t *Tree[K, V]) Put(key K, val V) {
 	}
 }
 
+// newNode takes a node off the free list (or allocates) and
+// initializes it as a fresh red leaf.
+//
+//xfm:hotpath
+func (t *Tree[K, V]) newNode(key K, val V) *node[K, V] {
+	n := t.free
+	if n == nil {
+		return &node[K, V]{key: key, val: val, red: true}
+	}
+	t.free = n.right
+	n.key, n.val = key, val
+	n.left, n.right = nil, nil
+	n.red = true
+	return n
+}
+
+// recycle zeroes a detached node and pushes it onto the free list.
+func (t *Tree[K, V]) recycle(n *node[K, V]) {
+	var zk K
+	var zv V
+	n.key, n.val = zk, zv
+	n.left = nil
+	n.right = t.free
+	t.free = n
+}
+
 func (t *Tree[K, V]) put(n *node[K, V], key K, val V) (*node[K, V], bool) {
 	if n == nil {
-		return &node[K, V]{key: key, val: val, red: true}, true
+		return t.newNode(key, val), true
 	}
 	var inserted bool
 	switch {
@@ -97,6 +130,7 @@ func (t *Tree[K, V]) delete(n *node[K, V], key K) *node[K, V] {
 			n = rotateRight(n)
 		}
 		if !t.less(n.key, key) && !t.less(key, n.key) && n.right == nil {
+			t.recycle(n)
 			return nil
 		}
 		if !isRed(n.right) && n.right != nil && !isRed(n.right.left) {
@@ -115,6 +149,10 @@ func (t *Tree[K, V]) delete(n *node[K, V], key K) *node[K, V] {
 
 func (t *Tree[K, V]) deleteMin(n *node[K, V]) *node[K, V] {
 	if n.left == nil {
+		// An LLRB node with no left child has no right child either
+		// (a red right link is forbidden, a black one would break the
+		// black height), so n detaches whole.
+		t.recycle(n)
 		return nil
 	}
 	if !isRed(n.left) && !isRed(n.left.left) {

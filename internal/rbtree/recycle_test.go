@@ -1,0 +1,86 @@
+package rbtree
+
+import "testing"
+
+// TestRecycledNodesSteadyStateAllocs drives put/delete churn and
+// checks deleted nodes feed later inserts: once the free list is
+// primed, the cycle must allocate nothing (the batch swap path puts
+// and deletes one index entry per page).
+func TestRecycledNodesSteadyStateAllocs(t *testing.T) {
+	tr := New[int, int](func(a, b int) bool { return a < b })
+	const n = 64
+	// Prime: grow to n, drain to 0, leaving n nodes on the free list.
+	for i := 0; i < n; i++ {
+		tr.Put(i, i*10)
+	}
+	for i := 0; i < n; i++ {
+		if !tr.Delete(i) {
+			t.Fatalf("priming delete of %d failed", i)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < n; i++ {
+			tr.Put(i, i)
+		}
+		for i := 0; i < n; i++ {
+			tr.Delete(i)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state put/delete churn: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestRecycledNodesStayCorrect interleaves deletes and re-inserts so
+// recycled nodes are reused with different keys, then verifies the
+// tree's contents and ordering invariants survived.
+func TestRecycledNodesStayCorrect(t *testing.T) {
+	tr := New[int, string](func(a, b int) bool { return a < b })
+	for round := 0; round < 5; round++ {
+		base := round * 1000
+		for i := 0; i < 50; i++ {
+			tr.Put(base+i, "v")
+		}
+		// Delete the previous round's survivors; their nodes come back
+		// under this round's keys.
+		if round > 0 {
+			prev := (round - 1) * 1000
+			for i := 0; i < 50; i++ {
+				if !tr.Delete(prev + i) {
+					t.Fatalf("round %d: delete %d failed", round, prev+i)
+				}
+			}
+		}
+		if got := tr.Len(); got != 50 {
+			t.Fatalf("round %d: Len = %d, want 50", round, got)
+		}
+	}
+	keys := tr.Keys()
+	if len(keys) != 50 {
+		t.Fatalf("got %d keys, want 50", len(keys))
+	}
+	for i, k := range keys {
+		if k != 4000+i {
+			t.Fatalf("keys[%d] = %d, want %d", i, k, 4000+i)
+		}
+		if v, ok := tr.Get(k); !ok || v != "v" {
+			t.Fatalf("Get(%d) = %q, %v", k, v, ok)
+		}
+	}
+}
+
+// TestRecycleDropsReferences checks a recycled node does not retain
+// its old value (pointer values would otherwise leak through the free
+// list until the node is reused).
+func TestRecycleDropsReferences(t *testing.T) {
+	tr := New[int, *int](func(a, b int) bool { return a < b })
+	x := new(int)
+	tr.Put(1, x)
+	tr.Delete(1)
+	if tr.free == nil {
+		t.Fatal("deleted node not on the free list")
+	}
+	if tr.free.val != nil {
+		t.Fatal("recycled node retains its value pointer")
+	}
+}

@@ -154,21 +154,82 @@ func sameFilledWord(data []byte) (uint64, bool) {
 	return w0, true
 }
 
-// SwapOut implements Backend.
+// The swap paths are split into a pure stage half and a mutating
+// commit half so the batch engine (engine.go) can run the expensive
+// codec work outside the shard locks: stageOut/decompressIn touch no
+// backend state and may run on any worker, while commitOut /
+// gatherIn / commitIn are the only code that mutates the index, the
+// allocator, or stats — under the shard lock when the backend is a
+// ShardedBackend shard. The single-page SwapOut/SwapIn wrappers run
+// the same two halves back to back, so serial and batched executions
+// share one code path and stay bit-identical.
+
+// pageClass classifies a staged swap-out page.
+type pageClass int8
+
+const (
+	classError pageClass = iota
+	classSameFilled
+	classCompressed
+	classIncompressible
+)
+
+// outPlan is the staged form of one swap-out page: everything the
+// commit phase needs, produced without touching backend state.
+type outPlan struct {
+	class    pageClass
+	fillWord uint64
+	comp     []byte // compressed bytes (classCompressed); arena-backed
+	err      error  // classError only
+}
+
+// stageOut classifies and compresses one swap-out page. It is pure:
+// no backend state is read or written, so any worker may run it
+// without a lock. Compressed output is appended to arena (a
+// per-worker buffer); the returned plan's comp slice aliases it, and
+// stays valid across later appends even if the arena's backing array
+// is reallocated by growth.
 //
 //xfm:hotpath
-func (b *CPUBackend) SwapOut(now dram.Ps, id PageID, data []byte) error {
+func stageOut(codec compress.Codec, id PageID, data []byte, arena []byte) (outPlan, []byte) {
 	if len(data) != PageSize {
 		//xfm:ignore hotpath-alloc cold validation path, only reachable by a caller bug
-		return fmt.Errorf("sfm: page %d has %d bytes, want %d", id, len(data), PageSize)
+		err := fmt.Errorf("sfm: page %d has %d bytes, want %d", id, len(data), PageSize)
+		return outPlan{class: classError, err: err}, arena
+	}
+	if w, same := sameFilledWord(data); same {
+		return outPlan{class: classSameFilled, fillWord: w}, arena
+	}
+	start := len(arena)
+	arena = codec.Compress(arena, data)
+	comp := arena[start:len(arena):len(arena)]
+	if len(comp) >= PageSize {
+		// Incompressible page: the commit will store the raw bytes, so
+		// the compressed form is dead weight — roll the arena back.
+		return outPlan{class: classIncompressible}, arena[:start]
+	}
+	return outPlan{class: classCompressed, comp: comp}, arena
+}
+
+// commitOut applies a staged swap-out to the backend: duplicate
+// check, zsmalloc allocation (with the §6 compact-on-full retry),
+// index insert, and stats. This is the only swap-out code that
+// mutates backend state; under a ShardedBackend it runs holding the
+// shard lock, in input order within the shard, which keeps batch
+// results bit-identical to a serial loop.
+//
+//xfm:hotpath
+func (b *CPUBackend) commitOut(id PageID, data []byte, p *outPlan) error {
+	if p.class == classError {
+		return p.err
 	}
 	if _, dup := b.index.Get(id); dup {
 		return ErrExists
 	}
-	if w, same := sameFilledWord(data); same {
+	if p.class == classSameFilled {
 		// Same-filled page: store only the fill word (zswap's
 		// optimization; zero pages are the common case).
-		b.index.Put(id, entry{rawSize: PageSize, sameFilled: true, fillWord: w})
+		b.index.Put(id, entry{rawSize: PageSize, sameFilled: true, fillWord: p.fillWord})
 		b.stats.SwapOuts++
 		b.stats.BytesOut += PageSize
 		b.stats.StoredPages++
@@ -177,13 +238,9 @@ func (b *CPUBackend) SwapOut(now dram.Ps, id PageID, data []byte) error {
 		cSameFilled.Inc()
 		return nil
 	}
-	// Compress into the backend's scratch buffer: zsmalloc copies the
-	// bytes into its slot, so the staging buffer is reusable right
-	// after Alloc and the hot path allocates nothing per page.
-	comp := b.scratch.Compress(b.codec, data)
-	stored := comp
+	stored := p.comp
 	e := entry{rawSize: PageSize, stored: true}
-	if len(comp) >= PageSize {
+	if p.class == classIncompressible {
 		// Incompressible page: store raw, like zswap's same-size
 		// passthrough.
 		stored = data
@@ -218,58 +275,140 @@ func (b *CPUBackend) SwapOut(now dram.Ps, id PageID, data []byte) error {
 	return nil
 }
 
-// SwapIn implements Backend. The CPU backend ignores the offload hint:
-// every swap-in runs on the CPU.
+// SwapOut implements Backend.
 //
 //xfm:hotpath
-func (b *CPUBackend) SwapIn(now dram.Ps, id PageID, dst []byte, offload bool) error {
+func (b *CPUBackend) SwapOut(now dram.Ps, id PageID, data []byte) error {
+	var p outPlan
+	p, b.scratch.Comp = stageOut(b.codec, id, data, b.scratch.Comp[:0])
+	return b.commitOut(id, data, &p)
+}
+
+// inPlan is the staged form of one swap-in page across the two-phase
+// protocol: gatherIn fills it under the lock, decompressIn consumes
+// it lock-free, commitIn settles it under the lock again.
+type inPlan struct {
+	e entry
+	// pinned aliases the compressed object's live zsmalloc slot,
+	// pinned so compaction cannot move it while a worker decompresses
+	// without the shard lock. Valid until commitIn frees or unpins.
+	pinned []byte
+	err    error
+	// detached: the entry was removed from the index and its handle
+	// pinned; commitIn must either free it (success) or restore it
+	// (decompress failure), so a failed page is left stored exactly as
+	// a serial SwapIn would leave it.
+	detached bool
+}
+
+// gatherIn detaches one swap-in page under the shard lock: it looks
+// up the entry, removes it from the index (so concurrent single-page
+// ops cannot double-claim it), and pins the compressed object so
+// compact-on-full from another batch cannot move the bytes while
+// decompressIn reads them without the lock. It mutates only the index
+// and the pin bit — all stats settle in commitIn.
+//
+//xfm:hotpath
+func (b *CPUBackend) gatherIn(id PageID, dst []byte) inPlan {
 	if len(dst) != PageSize {
 		//xfm:ignore hotpath-alloc cold validation path, only reachable by a caller bug
-		return fmt.Errorf("sfm: dst has %d bytes, want %d", len(dst), PageSize)
+		return inPlan{err: fmt.Errorf("sfm: dst has %d bytes, want %d", len(dst), PageSize)}
 	}
 	e, ok := b.index.Get(id)
 	if !ok {
-		return ErrNotFound
+		return inPlan{err: ErrNotFound}
 	}
+	if e.sameFilled {
+		b.index.Delete(id)
+		return inPlan{e: e, detached: true}
+	}
+	raw, err := b.alloc.Pin(e.handle)
+	if err != nil {
+		return inPlan{err: err}
+	}
+	b.index.Delete(id)
+	return inPlan{e: e, pinned: raw, detached: true}
+}
+
+// decompressIn restores the page bytes into dst from a gathered plan.
+// It is pure modulo dst and the plan's err field: no backend state is
+// touched, so any worker may run it without a lock (the pinned slice
+// is protected by the pin, not the lock).
+//
+//xfm:hotpath
+func decompressIn(codec compress.Codec, id PageID, p *inPlan, dst []byte) {
+	if !p.detached {
+		return
+	}
+	e := &p.e
 	if e.sameFilled {
 		for off := 0; off < PageSize; off += 8 {
 			binary.LittleEndian.PutUint64(dst[off:], e.fillWord)
 		}
-		b.index.Delete(id)
+		return
+	}
+	if e.stored {
+		out, err := codec.Decompress(dst[:0], p.pinned)
+		if err != nil {
+			p.err = err
+			return
+		}
+		if len(out) != PageSize {
+			//xfm:ignore hotpath-alloc cold corruption path; a short page is already a data-loss event
+			p.err = fmt.Errorf("sfm: page %d decompressed to %d bytes", id, len(out))
+			return
+		}
+	} else {
+		copy(dst, p.pinned)
+	}
+}
+
+// commitIn settles a gathered page under the shard lock: on success
+// it frees the compressed object (ending the pin) and applies stats;
+// on a decompression failure it restores the entry to the index and
+// unpins, so the page stays stored — the same end state a serial
+// SwapIn leaves after a failed decompress.
+//
+//xfm:hotpath
+func (b *CPUBackend) commitIn(id PageID, p *inPlan) error {
+	if !p.detached {
+		return p.err
+	}
+	e := &p.e
+	if e.sameFilled {
 		b.stats.SwapIns++
 		b.stats.BytesIn += PageSize
 		b.stats.StoredPages--
 		cSwapIns.Inc()
 		return nil
 	}
-	raw, err := b.alloc.Get(b.scratch.Raw[:0], e.handle)
-	b.scratch.Raw = raw[:0]
-	if err != nil {
-		return err
-	}
-	if e.stored {
-		out, err := b.codec.Decompress(dst[:0], raw)
-		if err != nil {
-			return err
-		}
-		if len(out) != PageSize {
-			//xfm:ignore hotpath-alloc cold corruption path; a short page is already a data-loss event
-			return fmt.Errorf("sfm: page %d decompressed to %d bytes", id, len(out))
-		}
-	} else {
-		copy(dst, raw)
+	if p.err != nil {
+		b.index.Put(id, p.e)
+		b.alloc.Unpin(e.handle)
+		return p.err
 	}
 	if err := b.alloc.Free(e.handle); err != nil {
+		b.index.Put(id, p.e)
 		return err
 	}
-	b.index.Delete(id)
 	b.stats.SwapIns++
 	b.stats.BytesIn += PageSize
 	b.stats.StoredPages--
-	b.stats.CompressedBytes -= int64(len(raw))
+	b.stats.CompressedBytes -= int64(len(p.pinned))
 	b.stats.CPUCycles += b.codec.Info().DecompressCyclesPerByte * PageSize
 	cSwapIns.Inc()
 	return nil
+}
+
+// SwapIn implements Backend. The CPU backend ignores the offload hint:
+// every swap-in runs on the CPU. Decompression reads the pinned
+// zsmalloc slot directly — no staging copy of the compressed bytes.
+//
+//xfm:hotpath
+func (b *CPUBackend) SwapIn(now dram.Ps, id PageID, dst []byte, offload bool) error {
+	p := b.gatherIn(id, dst)
+	decompressIn(b.codec, id, &p, dst)
+	return b.commitIn(id, &p)
 }
 
 // Contains implements Backend.

@@ -11,7 +11,11 @@ import (
 // front-end shape. The coarse lock matches the reference AIFM
 // runtime's per-heap synchronization granularity for swap operations;
 // page data returned by Touch is copied so callers never share the
-// internal buffer across the lock boundary.
+// internal buffer across the lock boundary. Fine-grained parallelism
+// lives a layer below: a heap backed by a ShardedBackend still runs
+// its batch (de)compression on every core via the engine in
+// engine.go, since this lock is held only around the heap's own
+// bookkeeping and the per-page backend calls.
 type ConcurrentHeap struct {
 	mu   sync.Mutex
 	heap *Heap //xfm:guardedby mu

@@ -1,0 +1,320 @@
+package sfm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"xfm/internal/compress"
+)
+
+// mixedBatchOut builds a batch exercising every stage class: ordinary
+// compressible pages, same-filled (zero) pages, incompressible
+// (random) pages, one short page, and one duplicate id.
+func mixedBatchOut(n int) []PageOut {
+	rng := rand.New(rand.NewSource(42))
+	outs := make([]PageOut, 0, n+2)
+	for i := 0; i < n; i++ {
+		id := PageID(i * 3)
+		var data []byte
+		switch i % 4 {
+		case 0, 1:
+			data = randomPage(id)
+		case 2:
+			data = make([]byte, PageSize) // same-filled
+		default:
+			data = make([]byte, PageSize) // incompressible
+			rng.Read(data)
+		}
+		outs = append(outs, PageOut{ID: id, Data: data})
+	}
+	outs = append(outs, PageOut{ID: 1_000_000, Data: []byte("short")})
+	outs = append(outs, PageOut{ID: outs[0].ID, Data: randomPage(outs[0].ID)}) // duplicate
+	return outs
+}
+
+// TestBatchWorkerCountInvariance pins the commit-ordering invariant:
+// results, stats, and restored bytes must be identical at every worker
+// count — the pipeline only changes who compresses, never what is
+// committed. Run under -cpu=1,2,4 in CI so the inline path (one
+// effective worker) and the fan-out path are both covered.
+func TestBatchWorkerCountInvariance(t *testing.T) {
+	type outcome struct {
+		outErrs []string
+		stats   BackendStats
+		inErrs  []string
+		pages   [][]byte
+	}
+	run := func(workers int) outcome {
+		b := NewShardedBackend(compress.NewLZFast(), 0, 8, workers)
+		defer b.Close()
+		outs := mixedBatchOut(48)
+		var o outcome
+		for _, err := range b.SwapOutBatch(0, outs) {
+			o.outErrs = append(o.outErrs, fmt.Sprint(err))
+		}
+		o.stats = b.Stats()
+		// Drain the stored pages (the first 48 entries; the short page
+		// and the duplicate were rejected).
+		ids := make([]PageID, 48)
+		for i := range ids {
+			ids[i] = outs[i].ID
+		}
+		ins := makeBatchIn(ids)
+		for _, err := range b.SwapInBatch(0, ins, false) {
+			o.inErrs = append(o.inErrs, fmt.Sprint(err))
+		}
+		for _, p := range ins {
+			o.pages = append(o.pages, p.Dst)
+		}
+		return o
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		if fmt.Sprint(got.outErrs) != fmt.Sprint(want.outErrs) {
+			t.Fatalf("workers=%d: swap-out errors diverge:\n%v\n%v", workers, got.outErrs, want.outErrs)
+		}
+		if fmt.Sprint(got.inErrs) != fmt.Sprint(want.inErrs) {
+			t.Fatalf("workers=%d: swap-in errors diverge:\n%v\n%v", workers, got.inErrs, want.inErrs)
+		}
+		if got.stats != want.stats {
+			t.Fatalf("workers=%d: stats diverge:\n%+v\n%+v", workers, got.stats, want.stats)
+		}
+		for i := range want.pages {
+			if !bytes.Equal(got.pages[i], want.pages[i]) {
+				t.Fatalf("workers=%d: page %d bytes diverge", workers, i)
+			}
+		}
+	}
+}
+
+// TestBatchSkewedSingleShard routes every page of a batch to one shard
+// — the pipeline's worst case and the scenario the old shard-granular
+// fan-out degraded to serial on. Correctness and serial-equivalent
+// stats must survive the skew.
+func TestBatchSkewedSingleShard(t *testing.T) {
+	const nShards = 8
+	codec := compress.NewLZFast()
+	sharded := NewShardedBackend(codec, 0, nShards, 4)
+	defer sharded.Close()
+	serial := NewCPUBackend(codec, 0)
+
+	ids := make([]PageID, 0, 64)
+	for id := PageID(0); len(ids) < 64; id++ {
+		if ShardIndexFor(id, nShards) == 0 {
+			ids = append(ids, id)
+		}
+	}
+	outs := makeBatchOut(ids)
+	if err := FirstError(sharded.SwapOutBatch(0, outs)); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range outs {
+		if err := serial.SwapOut(0, p.ID, p.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss, ps := serial.Stats(), sharded.Stats()
+	if ss.SwapOuts != ps.SwapOuts || ss.CompressedBytes != ps.CompressedBytes ||
+		ss.StoredPages != ps.StoredPages || ss.CPUCycles != ps.CPUCycles {
+		t.Fatalf("skewed stats diverge from serial:\nserial  %+v\nsharded %+v", ss, ps)
+	}
+
+	ins := makeBatchIn(ids)
+	if err := FirstError(sharded.SwapInBatch(0, ins, false)); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ins {
+		if !bytes.Equal(p.Dst, outs[i].Data) {
+			t.Fatalf("page %d corrupted by skewed round trip", p.ID)
+		}
+	}
+	if got := sharded.Stats().StoredPages; got != 0 {
+		t.Fatalf("StoredPages = %d after draining, want 0", got)
+	}
+}
+
+// TestBatchDecompressFailureLeavesStored corrupts a stored page's
+// compressed bytes and checks the two-phase swap-in restores the
+// entry (index + pin) on decompression failure — the page must remain
+// stored and recoverable once the bytes are repaired, exactly as a
+// failed serial SwapIn leaves it.
+func TestBatchDecompressFailureLeavesStored(t *testing.T) {
+	b := NewShardedBackend(compress.NewLZFast(), 0, 4, 2)
+	defer b.Close()
+	ids := []PageID{10, 11, 12, 13}
+	outs := makeBatchOut(ids)
+	if err := FirstError(b.SwapOutBatch(0, outs)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt page 11's slot in place (zeroed LZ stream: zero-length
+	// header followed by trailing garbage, always rejected).
+	victim := PageID(11)
+	sh := &b.shards[ShardIndexFor(victim, len(b.shards))]
+	e, ok := sh.b.index.Get(victim)
+	if !ok || !e.stored {
+		t.Fatalf("victim page not stored compressed (ok=%v, stored=%v)", ok, e.stored)
+	}
+	raw, err := sh.b.alloc.Pin(e.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]byte(nil), raw...)
+	for i := range raw {
+		raw[i] = 0
+	}
+	if err := sh.b.alloc.Unpin(e.handle); err != nil {
+		t.Fatal(err)
+	}
+
+	ins := makeBatchIn(ids)
+	errs := b.SwapInBatch(0, ins, false)
+	for i, id := range ids {
+		if id == victim {
+			if errs[i] == nil {
+				t.Fatal("corrupted page decompressed without error")
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("healthy page %d failed: %v", id, errs[i])
+		}
+		if !bytes.Equal(ins[i].Dst, outs[i].Data) {
+			t.Fatalf("healthy page %d corrupted", id)
+		}
+	}
+	if !b.Contains(victim) {
+		t.Fatal("failed page evicted from the index; must stay stored")
+	}
+	if got := b.Stats().StoredPages; got != 1 {
+		t.Fatalf("StoredPages = %d, want 1 (the failed page)", got)
+	}
+
+	// Repair the bytes; the page must swap in cleanly, proving the
+	// failure path restored both the index entry and the pin state
+	// (compaction and Free would misbehave on a leaked pin).
+	raw, err = sh.b.alloc.Pin(e.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(raw, saved)
+	if err := sh.b.alloc.Unpin(e.handle); err != nil {
+		t.Fatal(err)
+	}
+	b.Compact()
+	dst := make([]byte, PageSize)
+	if err := b.SwapIn(0, victim, dst, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, randomPage(victim)) {
+		t.Fatal("repaired page corrupted")
+	}
+}
+
+// TestBatchEngineConcurrentMix interleaves batch swaps, Compact, and
+// Stats from many goroutines on one backend. Run with -race: it pins
+// the pipeline's locking discipline (stage outside the lock, pinned
+// slots vs. concurrent compaction, commit under the lock).
+func TestBatchEngineConcurrentMix(t *testing.T) {
+	b := NewShardedBackend(compress.NewLZFast(), 0, 8, 4)
+	defer b.Close()
+	const (
+		goroutines = 6
+		perG       = 48
+		rounds     = 4
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := make([]PageID, perG)
+			for i := range ids {
+				ids[i] = PageID(g*10_000 + i)
+			}
+			for r := 0; r < rounds; r++ {
+				outs := makeBatchOut(ids)
+				if err := FirstError(b.SwapOutBatch(0, outs)); err != nil {
+					t.Error(err)
+					return
+				}
+				switch g % 3 {
+				case 0:
+					b.Compact()
+				case 1:
+					_ = b.Stats()
+				}
+				ins := makeBatchIn(ids)
+				if err := FirstError(b.SwapInBatch(0, ins, false)); err != nil {
+					t.Error(err)
+					return
+				}
+				for i, p := range ins {
+					if !bytes.Equal(p.Dst, outs[i].Data) {
+						t.Errorf("goroutine %d round %d: page %d corrupted", g, r, p.ID)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := b.Stats().StoredPages; got != 0 {
+		t.Fatalf("StoredPages = %d after mix, want 0", got)
+	}
+}
+
+// TestBatchRoundTripAllocs is the allocation regression gate for the
+// batched hot path. The pipeline's pooled plans, worker arenas,
+// recycled rbtree nodes, and zsmalloc free lists drove a 256-page
+// round trip from ~900 allocs/op to a few dozen; the ceiling here is
+// deliberately loose (headroom for scheduler noise) but low enough
+// that any per-page allocation (256+) fails immediately.
+func TestBatchRoundTripAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is slow under -short")
+	}
+	const ceiling = 180
+	for _, tc := range []struct {
+		name string
+		mk   func() Backend
+	}{
+		{"serial", func() Backend { return NewCPUBackend(compress.NewLZFast(), 0) }},
+		{"sharded", func() Backend { return NewShardedBackend(compress.NewLZFast(), 0, 16, 0) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mk()
+			ids := make([]PageID, 256)
+			for i := range ids {
+				ids[i] = PageID(i)
+			}
+			outs := makeBatchOut(ids)
+			ins := makeBatchIn(ids)
+			// Warm up pools, arenas, and free lists.
+			for i := 0; i < 3; i++ {
+				if err := FirstError(b.SwapOutBatch(0, outs)); err != nil {
+					t.Fatal(err)
+				}
+				if err := FirstError(b.SwapInBatch(0, ins, false)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := FirstError(b.SwapOutBatch(0, outs)); err != nil {
+					t.Fatal(err)
+				}
+				if err := FirstError(b.SwapInBatch(0, ins, false)); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > ceiling {
+				t.Fatalf("%s batch round trip: %.0f allocs/op, ceiling %d", tc.name, allocs, ceiling)
+			}
+			t.Logf("%s batch round trip: %.0f allocs/op (ceiling %d)", tc.name, allocs, ceiling)
+		})
+	}
+}

@@ -30,4 +30,19 @@ var (
 		telemetry.ExpBuckets(1, 2, 13))
 	gShardStoredPages = telemetry.NewGaugeVec("sfm_shard_stored_pages",
 		"Pages currently stored per shard of the sharded backend.", "shard")
+
+	// Batch-engine seams (the two-stage pipeline in engine.go). Stage
+	// histograms are observed once per batch phase and lock waits once
+	// per shard acquisition, so even with wall-clock reads they are far
+	// off the per-page hot path.
+	hStageNs = telemetry.NewHistogramVec("sfm_batch_stage_ns",
+		"Wall time per batch pipeline stage (stage_out covers compress+commit, "+
+			"gather/decompress_commit are the two swap-in phases).",
+		"stage", telemetry.ExpBuckets(1024, 4, 14))
+	hLockWaitNs = telemetry.NewHistogram("sfm_shard_lock_wait_ns",
+		"Wall time batch workers spent waiting to acquire a shard lock.",
+		telemetry.ExpBuckets(64, 4, 14))
+	gPipelineDepth = telemetry.NewGauge("sfm_batch_pipeline_depth",
+		"Shards of the in-flight batch still awaiting their commit phase "+
+			"(0 when no batch is running).")
 )

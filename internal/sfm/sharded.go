@@ -18,13 +18,18 @@ import (
 // software analogue of the paper's per-rank NMA engines (§5): one
 // compression unit per rank, all active in the same refresh window.
 //
-// Batch semantics match a serial loop over the same backend: results
-// are aligned with the input slice, and within a shard pages are
-// processed in input order, so stats and stored bytes are identical
-// regardless of worker count.
+// Batches run on the two-stage page-granular pipeline in engine.go:
+// codec work happens outside the shard locks on a persistent worker
+// pool, and only the commit phase (index + allocator + stats) holds a
+// lock. Batch semantics still match a serial loop over the same
+// backend: results are aligned with the input slice, and within a
+// shard pages are committed in input order, so stats and stored bytes
+// are identical regardless of worker count.
 type ShardedBackend struct {
 	shards  []backendShard
 	workers int
+	pool    *parallel.Pool
+	eng     batchEngine
 }
 
 type backendShard struct {
@@ -65,32 +70,41 @@ func NewShardedBackend(codec compress.Codec, regionBytes int64, nShards, workers
 		shards:  make([]backendShard, nShards),
 		workers: parallel.Workers(workers),
 	}
+	s.pool = parallel.NewPool(s.workers)
 	for i := range s.shards {
 		//xfm:ignore guardedby construction: the backend has not escaped to any other goroutine yet
 		s.shards[i].b = NewCPUBackend(codec, perShard)
 		//xfm:ignore guardedby construction: the backend has not escaped to any other goroutine yet
 		s.shards[i].stored = gShardStoredPages.With(strconv.Itoa(i))
 	}
+	s.eng.init(s, codec)
 	return s
 }
 
 // Shards returns the shard count.
 func (s *ShardedBackend) Shards() int { return len(s.shards) }
 
-// shardIndex routes a page to its shard with a splitmix64-style mixer
-// so sequential PageIDs spread across shards instead of clustering.
-func (s *ShardedBackend) shardIndex(id PageID) int {
+// Close releases the backend's worker pool goroutines. Optional (idle
+// workers only park on a channel); batches after Close degrade to the
+// serial inline path.
+func (s *ShardedBackend) Close() { s.pool.Close() }
+
+// ShardIndexFor routes a page to its shard with a splitmix64-style
+// mixer so sequential PageIDs spread across shards instead of
+// clustering. Exported so tests and benchmarks can construct
+// deliberately skewed batches (every page on one shard).
+func ShardIndexFor(id PageID, nShards int) int {
 	x := uint64(id)
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
-	return int(x % uint64(len(s.shards)))
+	return int(x % uint64(nShards))
 }
 
 func (s *ShardedBackend) shardOf(id PageID) *backendShard {
-	return &s.shards[s.shardIndex(id)]
+	return &s.shards[ShardIndexFor(id, len(s.shards))]
 }
 
 // SwapOut implements Backend.
@@ -113,64 +127,22 @@ func (s *ShardedBackend) SwapIn(now dram.Ps, id PageID, dst []byte, offload bool
 	return err
 }
 
-// plan groups batch element indexes by destination shard, so each
-// shard's work is an index list processed in input order — the same
-// order a serial loop would use, which keeps batch results and stats
-// bit-identical to the serial path.
-func (s *ShardedBackend) plan(n int, shardOf func(i int) int) [][]int {
-	byShard := make([][]int, len(s.shards))
-	for i := 0; i < n; i++ {
-		si := shardOf(i)
-		byShard[si] = append(byShard[si], i)
-	}
-	return byShard
-}
-
-// SwapOutBatch implements Backend: pages are grouped by shard and the
-// shards are compressed in parallel. Each worker owns one shard at a
-// time, so the per-shard scratch buffer and page table see no
-// concurrent access.
+// SwapOutBatch implements Backend: workers claim pages off an atomic
+// counter, compress them with no lock held, and the last worker to
+// finish a shard's pages commits that shard in input order (see
+// batchEngine).
 func (s *ShardedBackend) SwapOutBatch(now dram.Ps, pages []PageOut) []error {
 	hBatchPages.Observe(float64(len(pages)))
-	errs := make([]error, len(pages))
-	byShard := s.plan(len(pages), func(i int) int { return s.shardIndex(pages[i].ID) })
-	parallel.ForEach(len(s.shards), s.workers, func(si int) {
-		idxs := byShard[si]
-		if len(idxs) == 0 {
-			return
-		}
-		hShardBatchPages.Observe(float64(len(idxs)))
-		sh := &s.shards[si]
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		for _, i := range idxs {
-			errs[i] = sh.b.SwapOut(now, pages[i].ID, pages[i].Data)
-		}
-		sh.stored.SetInt(sh.b.stats.StoredPages)
-	})
-	return errs
+	return s.eng.swapOutBatch(now, pages)
 }
 
-// SwapInBatch implements Backend.
+// SwapInBatch implements Backend: per-shard gather/detach under the
+// lock, page-granular lock-free decompression from pinned slots, then
+// per-shard free/stats commits (see batchEngine). The offload hint is
+// ignored, as in the serial CPU path.
 func (s *ShardedBackend) SwapInBatch(now dram.Ps, pages []PageIn, offload bool) []error {
 	hBatchPages.Observe(float64(len(pages)))
-	errs := make([]error, len(pages))
-	byShard := s.plan(len(pages), func(i int) int { return s.shardIndex(pages[i].ID) })
-	parallel.ForEach(len(s.shards), s.workers, func(si int) {
-		idxs := byShard[si]
-		if len(idxs) == 0 {
-			return
-		}
-		hShardBatchPages.Observe(float64(len(idxs)))
-		sh := &s.shards[si]
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		for _, i := range idxs {
-			errs[i] = sh.b.SwapIn(now, pages[i].ID, pages[i].Dst, offload)
-		}
-		sh.stored.SetInt(sh.b.stats.StoredPages)
-	})
-	return errs
+	return s.eng.swapInBatch(now, pages)
 }
 
 // Contains implements Backend.
@@ -185,7 +157,7 @@ func (s *ShardedBackend) Contains(id PageID) bool {
 // parallel since their regions are independent.
 func (s *ShardedBackend) Compact() int64 {
 	moved := make([]int64, len(s.shards))
-	parallel.ForEach(len(s.shards), s.workers, func(si int) {
+	s.pool.Run(len(s.shards), s.workers, func(_, si int) {
 		sh := &s.shards[si]
 		sh.mu.Lock()
 		defer sh.mu.Unlock()

@@ -46,3 +46,9 @@ func NewCounterVec(name, help, labelKey string) *CounterVec {
 func NewGaugeVec(name, help, labelKey string) *GaugeVec {
 	return defaultRegistry.GaugeVec(name, help, labelKey)
 }
+
+// NewHistogramVec registers a labeled histogram family in the default
+// registry.
+func NewHistogramVec(name, help, labelKey string, buckets []float64) *HistogramVec {
+	return defaultRegistry.HistogramVec(name, help, labelKey, buckets)
+}

@@ -9,6 +9,7 @@ import (
 	"xfm/internal/ecc"
 	"xfm/internal/memctrl"
 	"xfm/internal/nma"
+	"xfm/internal/parallel"
 	"xfm/internal/sfm"
 	"xfm/internal/telemetry"
 )
@@ -27,6 +28,11 @@ type Backend struct {
 	driver  *Driver
 	mapp    memctrl.Mapping
 	workers int // batch parallelism bound (0 = GOMAXPROCS)
+	// pool runs the batch fan-outs (ECC parity math); persistent so
+	// steady-state batches spin up no goroutines. workers caps each
+	// Run rather than the pool width, so SetWorkers-style rebinding
+	// stays cheap.
+	pool *parallel.Pool
 
 	// Lazy SPM occupancy tracking (§6): the backend assumes every
 	// submitted offload still occupies the SPM until a completion-
@@ -94,7 +100,17 @@ func newBackend(codec compress.Codec, inner sfm.Backend, regionBytes int64,
 		codec:      codec,
 		eccEnabled: true,
 		parity:     map[sfm.PageID][]byte{},
+		pool:       parallel.NewPool(0),
 	}, nil
+}
+
+// Close releases the backend's worker pool (and the inner store's,
+// when it has one). Optional: idle workers only park on a channel.
+func (b *Backend) Close() {
+	b.pool.Close()
+	if c, ok := b.inner.(interface{ Close() }); ok {
+		c.Close()
+	}
 }
 
 // SetECC enables or disables side-band parity regeneration; it is on

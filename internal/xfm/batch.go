@@ -6,7 +6,6 @@ import (
 	"xfm/internal/dram"
 	"xfm/internal/ecc"
 	"xfm/internal/nma"
-	"xfm/internal/parallel"
 	"xfm/internal/sfm"
 )
 
@@ -29,7 +28,7 @@ func (b *Backend) SwapOutBatch(now dram.Ps, pages []sfm.PageOut) []error {
 		// §4.1: the NMA regenerates side-band parity when writing back.
 		// Parity generation is pure per-page math — fan it out.
 		pars = make([][]byte, len(pages))
-		parallel.ForEach(len(pages), parallel.Workers(b.workers), func(i int) {
+		b.pool.Run(len(pages), b.workers, func(_, i int) {
 			if errs[i] == nil {
 				pars[i] = ecc.PageParity(pages[i].Data)
 			}
@@ -70,7 +69,7 @@ func (b *Backend) SwapInBatch(now dram.Ps, pages []sfm.PageIn, offload bool) []e
 	var vs []verify
 	if b.eccEnabled {
 		vs = make([]verify, len(pages))
-		parallel.ForEach(len(pages), parallel.Workers(b.workers), func(i int) {
+		b.pool.Run(len(pages), b.workers, func(_, i int) {
 			if errs[i] != nil {
 				return
 			}
@@ -117,7 +116,7 @@ func (b *Backend) SwapInBatch(now dram.Ps, pages []sfm.PageIn, offload bool) []e
 func (g *GroupBackend) SwapOutBatch(now dram.Ps, pages []sfm.PageOut) []error {
 	errs := make([]error, len(pages))
 	cls := make([]CompressedLayout, len(pages))
-	parallel.ForEach(len(pages), parallel.Workers(g.workers), func(i int) {
+	g.pool.Run(len(pages), g.workers, func(_, i int) {
 		data := pages[i].Data
 		if len(data) != sfm.PageSize {
 			errs[i] = fmt.Errorf("xfm: page %d has %d bytes, want %d", pages[i].ID, len(data), sfm.PageSize)
@@ -143,7 +142,7 @@ func (g *GroupBackend) SwapInBatch(now dram.Ps, pages []sfm.PageIn, offload bool
 	errs := make([]error, len(pages))
 	cls := make([]CompressedLayout, len(pages))
 	done := make([]bool, len(pages))
-	parallel.ForEach(len(pages), parallel.Workers(g.workers), func(i int) {
+	g.pool.Run(len(pages), g.workers, func(_, i int) {
 		p := pages[i]
 		if len(p.Dst) != sfm.PageSize {
 			errs[i] = fmt.Errorf("xfm: dst has %d bytes, want %d", len(p.Dst), sfm.PageSize)

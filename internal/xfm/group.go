@@ -7,6 +7,7 @@ import (
 	"xfm/internal/dram"
 	"xfm/internal/memctrl"
 	"xfm/internal/nma"
+	"xfm/internal/parallel"
 	"xfm/internal/sfm"
 )
 
@@ -36,10 +37,15 @@ type GroupBackend struct {
 	offloads  int64
 	fallbacks int64
 	cpuCycles float64
-	workers   int // batch parallelism bound (0 = GOMAXPROCS)
+	workers   int            // batch parallelism bound (0 = GOMAXPROCS)
+	pool      *parallel.Pool // persistent batch fan-out workers
 
 	stats groupStats
 }
+
+// Close releases the backend's worker pool goroutines. Optional: idle
+// workers only park on a channel.
+func (g *GroupBackend) Close() { g.pool.Close() }
 
 // SetWorkers bounds the goroutines SwapOutBatch/SwapInBatch use for
 // (de)compression (0, the default, means GOMAXPROCS).
@@ -81,6 +87,7 @@ func NewGroupBackend(newCodec func(window int) compress.Codec, perDIMMRegion int
 		codec:         newCodec(layout.WindowBytes(sfm.PageSize)),
 		slots:         map[sfm.PageID]CompressedLayout{},
 		perDIMMRegion: perDIMMRegion,
+		pool:          parallel.NewPool(0),
 	}, nil
 }
 

@@ -51,6 +51,10 @@ type slot struct {
 	page   *zpage
 	index  int
 	length int
+	// pinned marks the object as an active migration exclusion:
+	// compaction will not move it, so bytes returned by Pin stay valid
+	// until Unpin or Free. Set only via Pin/Unpin.
+	pinned bool
 }
 
 type zpage struct {
@@ -74,6 +78,13 @@ type sizeClass struct {
 	// freePages lists pages with at least one free slot, so Alloc
 	// finds a slot in O(1) instead of scanning the class.
 	freePages []*zpage
+	// spare caches emptied encapsulating pages for reuse instead of
+	// returning them to the Go heap, so a free-then-alloc batch cycle
+	// (swap-in batch followed by swap-out batch) allocates no new
+	// pages in steady state. Spare pages are not "held": they count
+	// toward neither Stats.PageBytes nor the region capacity, and the
+	// list is bounded by the class's high-water page count.
+	spare []*zpage
 }
 
 // noteFree ensures p is on the free-page list.
@@ -106,6 +117,10 @@ type Allocator struct {
 	objects  map[Handle]*slot
 	next     Handle
 	stats    Stats
+	// freeSlots recycles slot descriptors released by Free, so the
+	// steady-state alloc/free cycle of a batch swap round trip does
+	// not touch the Go heap. Bounded by the high-water object count.
+	freeSlots []*slot
 }
 
 // New returns an allocator limited to maxBytes of encapsulating pages
@@ -161,11 +176,17 @@ func (a *Allocator) Alloc(data []byte) (Handle, error) {
 		if a.maxPages > 0 && a.pagesHeld() >= a.maxPages {
 			return 0, ErrCapacity
 		}
-		page = &zpage{
-			class:   c,
-			data:    make([]byte, PageSize),
-			handles: make([]Handle, c.slots),
-			free:    c.slots,
+		if n := len(c.spare); n > 0 {
+			page = c.spare[n-1]
+			c.spare[n-1] = nil
+			c.spare = c.spare[:n-1]
+		} else {
+			page = &zpage{
+				class:   c,
+				data:    make([]byte, PageSize),
+				handles: make([]Handle, c.slots),
+				free:    c.slots,
+			}
 		}
 		c.pages = append(c.pages, page)
 		c.noteFree(page)
@@ -189,7 +210,16 @@ func (a *Allocator) Alloc(data []byte) (Handle, error) {
 	if page.free == 0 {
 		page.class.dropFree(page)
 	}
-	a.objects[h] = &slot{page: page, index: idx, length: len(data)}
+	var s *slot
+	if n := len(a.freeSlots); n > 0 {
+		s = a.freeSlots[n-1]
+		a.freeSlots[n-1] = nil
+		a.freeSlots = a.freeSlots[:n-1]
+		*s = slot{page: page, index: idx, length: len(data)}
+	} else {
+		s = &slot{page: page, index: idx, length: len(data)}
+	}
+	a.objects[h] = s
 	a.stats.Objects++
 	a.stats.StoredBytes += int64(len(data))
 	a.stats.Allocs++
@@ -215,23 +245,51 @@ func (a *Allocator) Size(h Handle) (int, error) {
 	return s.length, nil
 }
 
-// Free releases the object's slot. Empty encapsulating pages are
-// returned to the system immediately.
+// Free releases the object's slot (pinned or not; freeing an object
+// ends its pin). Empty encapsulating pages are cached for reuse.
 func (a *Allocator) Free(h Handle) error {
 	s, ok := a.objects[h]
 	if !ok {
 		return ErrInvalidHandle
 	}
 	delete(a.objects, h)
-	s.page.handles[s.index] = 0
-	s.page.free++
-	s.page.class.noteFree(s.page)
+	page := s.page
+	page.handles[s.index] = 0
+	page.free++
+	page.class.noteFree(page)
 	a.stats.Objects--
 	a.stats.StoredBytes -= int64(s.length)
 	a.stats.Frees++
-	if s.page.free == s.page.class.slots {
-		a.releasePage(s.page)
+	*s = slot{}
+	a.freeSlots = append(a.freeSlots, s)
+	if page.free == page.class.slots {
+		a.releasePage(page)
 	}
+	return nil
+}
+
+// Pin returns the object's live slot bytes and excludes it from
+// compaction migration until Unpin or Free, so a caller may read the
+// bytes without holding the allocator's external lock for the whole
+// read. The slice aliases the encapsulating page: it is valid only
+// while the pin holds and must be treated as read-only.
+func (a *Allocator) Pin(h Handle) ([]byte, error) {
+	s, ok := a.objects[h]
+	if !ok {
+		return nil, ErrInvalidHandle
+	}
+	s.pinned = true
+	return s.page.slotBytes(s.index, s.length), nil
+}
+
+// Unpin makes the object movable by compaction again. Bytes returned
+// by Pin must not be used afterwards.
+func (a *Allocator) Unpin(h Handle) error {
+	s, ok := a.objects[h]
+	if !ok {
+		return ErrInvalidHandle
+	}
+	s.pinned = false
 	return nil
 }
 
@@ -242,6 +300,9 @@ func (a *Allocator) releasePage(p *zpage) {
 		if q == p {
 			c.pages = append(c.pages[:i], c.pages[i+1:]...)
 			a.stats.PageBytes -= PageSize
+			// p is empty (all handles zero, free == slots), so it can
+			// be handed straight back to Alloc later.
+			c.spare = append(c.spare, p)
 			return
 		}
 	}
@@ -280,13 +341,20 @@ func (a *Allocator) compactClass(c *sizeClass) int64 {
 			hi--
 			continue
 		}
-		// Move one object from src to dst.
+		// Move one object from src to dst. Pinned objects are not
+		// migration sources: a batch swap-in may be decompressing
+		// their bytes in place without the allocator's external lock.
 		srcIdx := -1
 		for i := len(src.handles) - 1; i >= 0; i-- {
-			if src.handles[i] != 0 {
+			if h := src.handles[i]; h != 0 && !a.objects[h].pinned {
 				srcIdx = i
 				break
 			}
+		}
+		if srcIdx < 0 {
+			// Everything left on this source page is pinned; skip it.
+			hi--
+			continue
 		}
 		dstIdx := -1
 		for i, h := range dst.handles {
@@ -295,7 +363,7 @@ func (a *Allocator) compactClass(c *sizeClass) int64 {
 				break
 			}
 		}
-		if srcIdx < 0 || dstIdx < 0 {
+		if dstIdx < 0 {
 			break
 		}
 		h := src.handles[srcIdx]
@@ -348,6 +416,17 @@ func (a *Allocator) CheckInvariants() error {
 				return fmt.Errorf("class %d: page with %d free slots not on free list", c.size, p.free)
 			case p.free == 0 && (listed[p] != 0 || p.inFree):
 				return fmt.Errorf("class %d: full page on free list", c.size)
+			}
+		}
+		// Spare pages must be clean (empty, detached, reusable as-is).
+		for _, p := range c.spare {
+			if p.free != c.slots || p.inFree {
+				return fmt.Errorf("class %d: spare page not clean", c.size)
+			}
+			for _, h := range p.handles {
+				if h != 0 {
+					return fmt.Errorf("class %d: spare page holds handle %d", c.size, h)
+				}
 			}
 		}
 		for _, p := range c.pages {
