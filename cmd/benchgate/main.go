@@ -46,6 +46,12 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "benchgate: ==============================================")
 	}
+	// A run that never reached steady state judges the baseline with a
+	// number polluted by warmup or drift — warn, don't fail (short CI
+	// runs wobble legitimately).
+	for _, w := range bench.SteadyStateWarnings(results) {
+		fmt.Fprintln(os.Stderr, "benchgate: WARNING:", w)
+	}
 	lines, err := bench.Gate(baseline, results, *maxRegress)
 	for _, l := range lines {
 		fmt.Println(l)

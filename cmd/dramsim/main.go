@@ -5,11 +5,13 @@
 // Usage:
 //
 //	dramsim [-trace FILE] [-binary] [-channels N] [-ranks N] [-device 8|16|32]
-//	        [-metrics-out FILE] [-trace-out FILE] [-pprof ADDR]
+//	        [-metrics-out FILE] [-trace-out FILE] [-timeseries-out FILE]
+//	        [-sample-every N] [-sample-wall DUR] [-pprof ADDR]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // Without -trace it generates the default web front-end trace
-// internally.
+// internally. -timeseries-out records the flight recorder's metric
+// series over the replay (see internal/telemetry and cmd/xfmtop).
 package main
 
 import (

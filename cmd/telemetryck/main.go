@@ -1,18 +1,23 @@
 // Command telemetryck validates observability artifacts produced by
-// xfmbench/dramsim: a Prometheus text-exposition metrics file and a
-// Chrome trace-event JSON file. CI runs it after a smoke benchmark to
-// keep the telemetry pipeline from silently rotting.
+// xfmbench/dramsim: a Prometheus text-exposition metrics file, a
+// Chrome trace-event JSON file, and a flight-recorder time-series
+// dump. CI runs it after a smoke benchmark to keep the telemetry
+// pipeline from silently rotting.
 //
 // Usage:
 //
 //	telemetryck [-metrics FILE] [-trace FILE] [-require name,name,...]
-//	            [-require-nesting]
+//	            [-require-nesting] [-timeseries FILE]
+//	            [-require-series name,name,...]
 //
 // -require lists metric names that must appear with at least one
 // sample. -require-nesting demands that the trace contains at least one
 // NMA compress/decompress span strictly nested inside a refresh-window
 // span on the same track (the paper's core claim, rendered on the
-// timeline).
+// timeline). -timeseries validates a dump written by -timeseries-out:
+// schema version, strictly monotonic timestamps within each series,
+// non-negative counter-kind deltas, and (via -require-series) the
+// presence of named series with at least one point.
 package main
 
 import (
@@ -163,15 +168,115 @@ func checkTrace(path string, requireNesting bool) {
 		len(tf.TraceEvents), len(windows), nested, len(nmaSpans))
 }
 
+// The time-series mirror structs are deliberately independent of
+// internal/telemetry: the validator re-declares the artifact contract
+// so a producer-side schema drift fails here instead of silently
+// round-tripping.
+type tsPoint struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+type tsSeries struct {
+	Name    string    `json:"name"`
+	Kind    string    `json:"kind"`
+	Metric  string    `json:"metric"`
+	Dropped int64     `json:"dropped"`
+	Points  []tsPoint `json:"points"`
+}
+
+type tsDump struct {
+	Schema   int        `json:"schema"`
+	Clock    string     `json:"clock"`
+	SimEvery int64      `json:"sim_every"`
+	Samples  int        `json:"samples"`
+	Ticks    int64      `json:"ticks"`
+	Series   []tsSeries `json:"series"`
+}
+
+// checkTimeseries validates a flight-recorder dump: schema version 1,
+// a known clock domain, at least one sample, strictly monotonic
+// timestamps within every series, and non-negative values on
+// counter-kind series (per-window deltas of monotone counters must
+// never run backwards). requireSeries lists series names that must be
+// present with at least one point.
+func checkTimeseries(path, requireSeries string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var d tsDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		fail("%s: invalid JSON: %v", path, err)
+	}
+	if d.Schema != 1 {
+		fail("%s: unsupported schema %d, want 1", path, d.Schema)
+	}
+	if d.Clock != "sim-ps" && d.Clock != "wall-ns" {
+		fail("%s: unknown clock domain %q", path, d.Clock)
+	}
+	if d.Samples <= 0 {
+		fail("%s: no samples recorded", path)
+	}
+	if len(d.Series) == 0 {
+		fail("%s: no series recorded", path)
+	}
+	points := 0
+	byName := map[string]tsSeries{}
+	for _, s := range d.Series {
+		if s.Name == "" || s.Kind == "" || s.Metric == "" {
+			fail("%s: series with empty name/kind/metric: %+v", path, s)
+		}
+		if _, dup := byName[s.Name]; dup {
+			fail("%s: duplicate series %q", path, s.Name)
+		}
+		byName[s.Name] = s
+		for i, p := range s.Points {
+			points++
+			if i > 0 && p.T <= s.Points[i-1].T {
+				fail("%s: series %q: non-monotonic timestamp %d after %d (point %d)",
+					path, s.Name, p.T, s.Points[i-1].T, i)
+			}
+			if s.Kind == "counter" && p.V < 0 {
+				fail("%s: series %q: negative counter delta %g at t=%d",
+					path, s.Name, p.V, p.T)
+			}
+			if s.Kind == "hist_count" && p.V < 0 {
+				fail("%s: series %q: negative windowed count %g at t=%d",
+					path, s.Name, p.V, p.T)
+			}
+		}
+	}
+	if requireSeries != "" {
+		var missing []string
+		for _, want := range strings.Split(requireSeries, ",") {
+			want = strings.TrimSpace(want)
+			if want == "" {
+				continue
+			}
+			if s, ok := byName[want]; !ok || len(s.Points) == 0 {
+				missing = append(missing, want)
+			}
+		}
+		if len(missing) > 0 {
+			fail("%s: required series missing or empty: %s", path, strings.Join(missing, ", "))
+		}
+	}
+	fmt.Printf("timeseries ok: clock %s, %d samples, %d series, %d points\n",
+		d.Clock, d.Samples, len(d.Series), points)
+}
+
 func main() {
 	metrics := flag.String("metrics", "", "Prometheus text metrics file to validate")
 	traceOut := flag.String("trace", "", "Chrome trace-event JSON file to validate")
 	require := flag.String("require", "", "comma-separated metric names that must be present")
 	requireNesting := flag.Bool("require-nesting", false, "require nma spans nested in refresh-window spans")
+	timeseries := flag.String("timeseries", "", "flight-recorder time-series dump to validate")
+	requireSeries := flag.String("require-series", "", "comma-separated series names that must be present in -timeseries")
 	flag.Parse()
 
-	if *metrics == "" && *traceOut == "" {
-		fail("nothing to check: pass -metrics and/or -trace")
+	if *metrics == "" && *traceOut == "" && *timeseries == "" {
+		fail("nothing to check: pass -metrics, -trace, and/or -timeseries")
 	}
 	if *metrics != "" {
 		names := checkMetrics(*metrics)
@@ -191,5 +296,8 @@ func main() {
 	}
 	if *traceOut != "" {
 		checkTrace(*traceOut, *requireNesting)
+	}
+	if *timeseries != "" {
+		checkTimeseries(*timeseries, *requireSeries)
 	}
 }

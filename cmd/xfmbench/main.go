@@ -6,15 +6,23 @@
 // Usage:
 //
 //	xfmbench [-csv] [-list] [-j N] [-metrics-out FILE] [-trace-out FILE]
+//	         [-timeseries-out FILE] [-sample-every N] [-sample-wall DUR]
 //	         [-pprof ADDR] [-cpuprofile FILE] [-memprofile FILE]
 //	         [-bench-json DIR]
 //	         [experiment ...]
 //
 // With -bench-json DIR the experiments are skipped; instead the
 // swap-path benchmark scenarios run and each result is written as
-// DIR/BENCH_<name>.json (pages/s, allocs/op, compression ratio). The
-// CI bench gate (cmd/benchgate) compares those artifacts against the
-// checked-in bench_baseline.json.
+// DIR/BENCH_<name>.json (pages/s, allocs/op, compression ratio, and a
+// per-interval pages/s trajectory). The CI bench gate (cmd/benchgate)
+// compares those artifacts against the checked-in bench_baseline.json.
+//
+// With -timeseries-out FILE the flight recorder samples the default
+// metric catalogue every -sample-every refresh windows of simulated
+// time and writes the recording (JSON, or CSV when FILE ends in .csv)
+// on exit; telemetryck validates it and xfmtop renders it. Note that
+// -j runs several simulators against one recorder, so only the first
+// simulator to reach a timestamp records it.
 package main
 
 import (

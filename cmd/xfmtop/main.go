@@ -1,0 +1,224 @@
+// Command xfmtop is a live terminal dashboard for the XFM telemetry
+// stack: it renders the flight recorder's time series as sparklines
+// and the health monitor's verdict as a panel, top-style, from either
+// a running process's debug server or a recorded artifact.
+//
+// Usage:
+//
+//	xfmtop [-url http://localhost:6060] [-file timeseries.json]
+//	       [-refresh 1s] [-width 60] [-filter substr] [-once]
+//
+// With -url it polls /debug/timeseries and /debug/health every
+// -refresh and redraws in place (ANSI clear). With -file it reads a
+// recorded dump (written by `xfmbench -timeseries-out`), evaluates the
+// default health rules locally, and renders the same view. -once
+// renders a single frame without ANSI control codes and exits — the CI
+// smoke mode.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"xfm/internal/telemetry"
+)
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders the last width points scaled to min..max.
+func sparkline(pts []telemetry.Point, width int) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	if len(pts) > width {
+		pts = pts[len(pts)-width:]
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		if p.V < lo {
+			lo = p.V
+		}
+		if p.V > hi {
+			hi = p.V
+		}
+	}
+	var b strings.Builder
+	for _, p := range pts {
+		i := 0
+		if hi > lo {
+			i = int((p.V - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		} else if p.V != 0 {
+			i = len(sparkLevels) / 2
+		}
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sparkLevels) {
+			i = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[i])
+	}
+	return b.String()
+}
+
+// fmtVal renders a value compactly (counts and rates share columns).
+func fmtVal(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == math.Trunc(v) && av < 1e7:
+		return fmt.Sprintf("%d", int64(v))
+	case av >= 1e6 || (av < 1e-3 && av > 0):
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func seriesStats(pts []telemetry.Point) (last, min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		if p.V < min {
+			min = p.V
+		}
+		if p.V > max {
+			max = p.V
+		}
+	}
+	if len(pts) > 0 {
+		last = pts[len(pts)-1].V
+	}
+	return last, min, max
+}
+
+// render writes one full frame.
+func render(w *strings.Builder, d *telemetry.Dump, h telemetry.Health, src string, width int, filter string) {
+	clockDesc := d.Clock
+	if d.SimEvery > 0 {
+		clockDesc = fmt.Sprintf("%s · every %d windows", d.Clock, d.SimEvery)
+	}
+	fmt.Fprintf(w, "xfmtop — XFM flight recorder · %s\n", src)
+	fmt.Fprintf(w, "clock %s · %d samples · %d ticks\n\n", clockDesc, d.Samples, d.Ticks)
+
+	fmt.Fprintf(w, "HEALTH: %s\n", h.Status)
+	for _, c := range h.Checks {
+		mark, detail := " ok", ""
+		switch {
+		case c.Firing:
+			mark = "FIRE"
+			detail = fmt.Sprintf("value %s vs threshold %s [%s]",
+				fmtVal(c.Value), fmtVal(c.Threshold), c.Severity)
+		case !c.Active:
+			mark = "  --"
+			detail = "(no data)"
+		default:
+			detail = fmt.Sprintf("value %s, threshold %s", fmtVal(c.Value), fmtVal(c.Threshold))
+		}
+		fmt.Fprintf(w, "  %-4s %-28s %s\n", mark, c.Rule, detail)
+	}
+	w.WriteString("\n")
+
+	fmt.Fprintf(w, "%-34s %10s %10s %10s  %s\n", "SERIES", "last", "min", "max", "trajectory")
+	for _, s := range d.Series {
+		if filter != "" && !strings.Contains(s.Name, filter) {
+			continue
+		}
+		if len(s.Points) == 0 {
+			continue
+		}
+		last, min, max := seriesStats(s.Points)
+		fmt.Fprintf(w, "%-34s %10s %10s %10s  %s\n",
+			s.Name, fmtVal(last), fmtVal(min), fmtVal(max), sparkline(s.Points, width))
+	}
+}
+
+// fetchJSON GETs url into v.
+func fetchJSON(client *http.Client, url string, v interface{}) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	// /debug/health answers 503 on CRITICAL; the body is still the
+	// verdict we want to render.
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func main() {
+	url := flag.String("url", "", "poll a live debug server at this base URL (e.g. http://localhost:6060)")
+	file := flag.String("file", "", "render a recorded time-series dump instead of polling")
+	refresh := flag.Duration("refresh", time.Second, "redraw interval in live mode")
+	width := flag.Int("width", 60, "sparkline width in samples")
+	filter := flag.String("filter", "", "only show series whose name contains this substring")
+	once := flag.Bool("once", false, "render one frame without ANSI control codes and exit (CI mode)")
+	flag.Parse()
+
+	if (*url == "") == (*file == "") {
+		fmt.Fprintln(os.Stderr, "xfmtop: pass exactly one of -url or -file")
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	monitor := telemetry.NewMonitor() // default rules, local evaluation
+
+	frame := func() (string, error) {
+		var d *telemetry.Dump
+		var h telemetry.Health
+		var src string
+		if *file != "" {
+			f, err := os.Open(*file)
+			if err != nil {
+				return "", err
+			}
+			d, err = telemetry.ReadDump(f)
+			f.Close()
+			if err != nil {
+				return "", err
+			}
+			h = monitor.Evaluate(d)
+			src = *file
+		} else {
+			d = &telemetry.Dump{}
+			if err := fetchJSON(client, *url+"/debug/timeseries", d); err != nil {
+				return "", err
+			}
+			if err := fetchJSON(client, *url+"/debug/health", &h); err != nil {
+				// A server predating /debug/health still has series;
+				// evaluate locally rather than failing.
+				h = monitor.Evaluate(d)
+			}
+			src = *url
+		}
+		var b strings.Builder
+		render(&b, d, h, src, *width, *filter)
+		return b.String(), nil
+	}
+
+	if *once {
+		out, err := frame()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xfmtop:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	for {
+		out, err := frame()
+		// ANSI: home cursor, clear to end of screen (less flicker than
+		// a full clear).
+		fmt.Print("\x1b[H\x1b[2J\x1b[3J")
+		if err != nil {
+			fmt.Printf("xfmtop: %v (retrying every %v)\n", err, *refresh)
+		} else {
+			fmt.Print(out)
+		}
+		time.Sleep(*refresh)
+	}
+}

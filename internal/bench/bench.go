@@ -9,10 +9,12 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
 	"testing"
+	"time"
 
 	"xfm/internal/compress"
 	"xfm/internal/corpus"
@@ -45,6 +47,14 @@ type Result struct {
 	// parallelism config, recorded so a baseline mismatch is visible.
 	Workers int `json:"workers"`
 	Shards  int `json:"shards"`
+	// IntervalPagesPerSec is the throughput trajectory: the measured
+	// ops split into up to benchIntervals equal-op intervals, each
+	// reported as pages/s. A flat series means the headline number is a
+	// steady-state figure; a ramp means warmup or drift polluted it.
+	IntervalPagesPerSec []float64 `json:"interval_pages_per_sec,omitempty"`
+	// SteadyStatePagesPerSec is the mean of the last half of the
+	// interval series — the throughput after warmup.
+	SteadyStatePagesPerSec float64 `json:"steady_state_pages_per_sec,omitempty"`
 }
 
 // scenario is a named swap-path configuration. shards/workers record
@@ -143,13 +153,64 @@ func pages(ids func(i int) sfm.PageID) ([]sfm.PageOut, []sfm.PageIn) {
 	return outs, ins
 }
 
+// benchIntervals bounds the per-run throughput series length.
+const benchIntervals = 16
+
+// intervalRates folds per-op wall times into up to benchIntervals
+// equal-op intervals of pages/s, oldest first.
+func intervalRates(opNs []int64, pagesPerOp int) []float64 {
+	n := len(opNs)
+	if n == 0 {
+		return nil
+	}
+	k := benchIntervals
+	if n < k {
+		k = n
+	}
+	out := make([]float64, 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := i*n/k, (i+1)*n/k
+		var ns int64
+		for _, v := range opNs[lo:hi] {
+			ns += v
+		}
+		if ns <= 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, float64(hi-lo)*float64(pagesPerOp)*1e9/float64(ns))
+	}
+	return out
+}
+
+// steadyState returns the mean of the last half of the interval series
+// (the whole series when it has a single point).
+func steadyState(intervals []float64) float64 {
+	if len(intervals) == 0 {
+		return 0
+	}
+	half := intervals[len(intervals)/2:]
+	sum := 0.0
+	for _, v := range half {
+		sum += v
+	}
+	return sum / float64(len(half))
+}
+
 // run measures one scenario.
 func run(sc scenario) (Result, error) {
 	outs, ins := pages(sc.ids)
 	backend := sc.mk()
 	var failure error
+	var opNs []int64
 	br := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
+		// Preallocated before ResetTimer so the trajectory bookkeeping
+		// stays out of ns/op and allocs/op. The two clock reads per op
+		// are noise against a 256-page swap round trip.
+		opNs = make([]int64, b.N)
+		b.ResetTimer()
+		prev := time.Now()
 		for i := 0; i < b.N; i++ {
 			if err := sfm.FirstError(backend.SwapOutBatch(0, outs)); err != nil {
 				failure = err
@@ -159,6 +220,9 @@ func run(sc scenario) (Result, error) {
 				failure = err
 				b.FailNow()
 			}
+			now := time.Now()
+			opNs[i] = now.Sub(prev).Nanoseconds()
+			prev = now
 		}
 	})
 	if failure != nil {
@@ -178,18 +242,44 @@ func run(sc scenario) (Result, error) {
 	}
 	s.Release()
 	nsPerOp := float64(br.T.Nanoseconds()) / float64(br.N)
+	intervals := intervalRates(opNs, benchPages)
 	return Result{
-		Name:             sc.name,
-		PagesPerSec:      float64(br.N) * benchPages / br.T.Seconds(),
-		NsPerOp:          nsPerOp,
-		AllocsPerOp:      float64(br.AllocsPerOp()),
-		CompressionRatio: float64(raw) / float64(comp),
-		PagesPerOp:       benchPages,
-		GoMaxProcs:       runtime.GOMAXPROCS(0),
-		GoVersion:        runtime.Version(),
-		Workers:          sc.workers,
-		Shards:           sc.shards,
+		Name:                   sc.name,
+		PagesPerSec:            float64(br.N) * benchPages / br.T.Seconds(),
+		NsPerOp:                nsPerOp,
+		AllocsPerOp:            float64(br.AllocsPerOp()),
+		CompressionRatio:       float64(raw) / float64(comp),
+		PagesPerOp:             benchPages,
+		GoMaxProcs:             runtime.GOMAXPROCS(0),
+		GoVersion:              runtime.Version(),
+		Workers:                sc.workers,
+		Shards:                 sc.shards,
+		IntervalPagesPerSec:    intervals,
+		SteadyStatePagesPerSec: steadyState(intervals),
 	}, nil
+}
+
+// SteadyStateWarnings flags results whose steady-state throughput
+// diverges more than 10% from the whole-run mean: the headline pages/s
+// is then polluted by warmup (allocator growth, cache filling) or
+// drift (fragmentation), and the gate's comparison is noisier than it
+// looks. Non-fatal — cmd/benchgate prints these as warnings, because
+// short CI runs legitimately wobble.
+func SteadyStateWarnings(results []Result) []string {
+	const maxDivergence = 0.10
+	var warns []string
+	for _, r := range results {
+		if len(r.IntervalPagesPerSec) < 4 || r.PagesPerSec <= 0 || r.SteadyStatePagesPerSec <= 0 {
+			continue
+		}
+		div := math.Abs(r.SteadyStatePagesPerSec-r.PagesPerSec) / r.PagesPerSec
+		if div > maxDivergence {
+			warns = append(warns, fmt.Sprintf(
+				"%s: steady-state %.0f pages/s diverges %.1f%% from the run mean %.0f — run not in steady state; treat the headline figure with suspicion",
+				r.Name, r.SteadyStatePagesPerSec, div*100, r.PagesPerSec))
+		}
+	}
+	return warns
 }
 
 // EnvWarnings compares the measurement environments of a baseline and

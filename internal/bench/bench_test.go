@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -49,7 +51,8 @@ func TestJSONRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	in := []Result{
 		{Name: "x", PagesPerSec: 123.5, NsPerOp: 4, AllocsPerOp: 5, CompressionRatio: 2.5, PagesPerOp: 256,
-			GoMaxProcs: 8, GoVersion: "go1.24.0", Workers: 4, Shards: 16},
+			GoMaxProcs: 8, GoVersion: "go1.24.0", Workers: 4, Shards: 16,
+			IntervalPagesPerSec: []float64{120, 125, 124, 123}, SteadyStatePagesPerSec: 123.5},
 		{Name: "y", PagesPerSec: 9, PagesPerOp: 256},
 	}
 	if err := WriteJSON(dir, in); err != nil {
@@ -67,9 +70,83 @@ func TestJSONRoundTrip(t *testing.T) {
 		seen[r.Name] = r
 	}
 	for _, r := range in {
-		if seen[r.Name] != r {
+		if !reflect.DeepEqual(seen[r.Name], r) {
 			t.Fatalf("round trip changed %s: %+v -> %+v", r.Name, r, seen[r.Name])
 		}
+	}
+}
+
+func TestIntervalRates(t *testing.T) {
+	// 32 ops at a constant 1ms each with 256 pages/op: every interval
+	// reads 256000 pages/s.
+	opNs := make([]int64, 32)
+	for i := range opNs {
+		opNs[i] = 1e6
+	}
+	rates := intervalRates(opNs, 256)
+	if len(rates) != benchIntervals {
+		t.Fatalf("got %d intervals, want %d", len(rates), benchIntervals)
+	}
+	for i, r := range rates {
+		if math.Abs(r-256000) > 1e-6 {
+			t.Fatalf("interval %d = %g pages/s, want 256000", i, r)
+		}
+	}
+	// Fewer ops than intervals: one interval per op.
+	if got := intervalRates(opNs[:3], 256); len(got) != 3 {
+		t.Fatalf("3 ops produced %d intervals, want 3", len(got))
+	}
+	if intervalRates(nil, 256) != nil {
+		t.Fatal("empty input produced intervals")
+	}
+	// A warmup ramp shows up: first half slow, last half fast.
+	ramp := make([]int64, 32)
+	for i := range ramp {
+		if i < 16 {
+			ramp[i] = 2e6
+		} else {
+			ramp[i] = 1e6
+		}
+	}
+	rr := intervalRates(ramp, 256)
+	if rr[0] >= rr[len(rr)-1] {
+		t.Fatalf("ramp not visible: first %g, last %g", rr[0], rr[len(rr)-1])
+	}
+}
+
+func TestSteadyState(t *testing.T) {
+	if got := steadyState([]float64{100, 200, 300, 400}); got != 350 {
+		t.Fatalf("steadyState = %g, want 350 (mean of last half)", got)
+	}
+	if got := steadyState([]float64{42}); got != 42 {
+		t.Fatalf("single interval steadyState = %g, want 42", got)
+	}
+	if got := steadyState(nil); got != 0 {
+		t.Fatalf("empty steadyState = %g, want 0", got)
+	}
+}
+
+func TestSteadyStateWarnings(t *testing.T) {
+	flat := Result{Name: "flat", PagesPerSec: 1000, SteadyStatePagesPerSec: 1050,
+		IntervalPagesPerSec: []float64{900, 1000, 1050, 1050}}
+	if w := SteadyStateWarnings([]Result{flat}); len(w) != 0 {
+		t.Fatalf("5%% divergence warned: %v", w)
+	}
+	ramp := Result{Name: "ramp", PagesPerSec: 1000, SteadyStatePagesPerSec: 1300,
+		IntervalPagesPerSec: []float64{500, 800, 1200, 1400}}
+	w := SteadyStateWarnings([]Result{ramp})
+	if len(w) != 1 || !strings.Contains(w[0], "not in steady state") {
+		t.Fatalf("30%% divergence should warn once, got %v", w)
+	}
+	// Too few intervals to judge: stay quiet.
+	short := ramp
+	short.IntervalPagesPerSec = []float64{500, 1400}
+	if w := SteadyStateWarnings([]Result{short}); len(w) != 0 {
+		t.Fatalf("2-interval run warned: %v", w)
+	}
+	// Results predating the trajectory fields: stay quiet.
+	if w := SteadyStateWarnings([]Result{{Name: "old", PagesPerSec: 1000}}); len(w) != 0 {
+		t.Fatalf("legacy result warned: %v", w)
 	}
 }
 

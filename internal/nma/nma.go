@@ -247,6 +247,12 @@ type Sim struct {
 	track   int  // lazily allocated track id, -1 until first span
 	traceOn bool // cached tracer.Enabled() for the current window
 	winAcc  []windowAccess
+
+	// Flight recorder (off unless the sampler is enabled): StepWindow
+	// ticks the simulated-time clock domain so every Nth refresh window
+	// snapshots the registry into time series. The disabled fast path
+	// is one atomic load.
+	sampler *telemetry.Sampler
 }
 
 // windowAccess remembers one access performed in the current window so
@@ -270,6 +276,7 @@ func NewSim(cfg Config) *Sim {
 		completedByGroup: map[int][]*op{},
 		tracer:           telemetry.DefaultTracer(),
 		track:            -1,
+		sampler:          telemetry.DefaultSampler(),
 	}
 }
 
@@ -280,6 +287,11 @@ func (s *Sim) SetTracer(tr *telemetry.Tracer) {
 	s.tracer = tr
 	s.track = -1
 }
+
+// SetSampler redirects flight-recorder clock ticks to smp (nil
+// disconnects this sim from the recorder); tests inject private
+// samplers here. Sims default to telemetry.DefaultSampler.
+func (s *Sim) SetSampler(smp *telemetry.Sampler) { s.sampler = smp }
 
 // Config returns the simulator's configuration.
 func (s *Sim) Config() Config { return s.cfg }
@@ -455,6 +467,12 @@ func (s *Sim) StepWindow() int {
 	}
 	s.stats.Windows++
 	s.window++
+	if s.sampler != nil {
+		// Samples land on the serial window-stepping path with all
+		// metric updates for completed batches already published, so
+		// sim-domain series are deterministic at any worker count.
+		s.sampler.SimTick(int64(now))
+	}
 	return group
 }
 

@@ -6,19 +6,24 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"time"
 )
 
 // CLI bundles the observability flags shared by cmd/xfmbench and
-// cmd/dramsim: metrics/trace file export, a debug HTTP server, and
-// wall-clock CPU/heap profiling that composes with simulated-time
-// tracing.
+// cmd/dramsim: metrics/trace/time-series file export, a debug HTTP
+// server, and wall-clock CPU/heap profiling that composes with
+// simulated-time tracing.
 type CLI struct {
-	MetricsOut string
-	TraceOut   string
-	TraceBuf   int
-	PprofAddr  string
-	CPUProfile string
-	MemProfile string
+	MetricsOut    string
+	TraceOut      string
+	TraceBuf      int
+	TimeseriesOut string
+	SampleEvery   int
+	SampleWall    time.Duration
+	PprofAddr     string
+	CPUProfile    string
+	MemProfile    string
 
 	cpuFile *os.File
 }
@@ -28,18 +33,31 @@ func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write Prometheus text metrics to this file at exit")
 	fs.StringVar(&c.TraceOut, "trace-out", "", "record simulated-time spans and write Chrome trace-event JSON to this file at exit")
 	fs.IntVar(&c.TraceBuf, "trace-buf", DefaultTraceCapacity, "span ring-buffer capacity for -trace-out (oldest spans drop when exceeded)")
-	fs.StringVar(&c.PprofAddr, "pprof", "", "serve /metrics, /debug/vars, /debug/trace and /debug/pprof on this address (e.g. :6060)")
+	fs.StringVar(&c.TimeseriesOut, "timeseries-out", "", "record metric time series and write the flight-recorder dump to this file at exit (.csv extension switches to long-format CSV)")
+	fs.IntVar(&c.SampleEvery, "sample-every", DefaultSimEvery, "simulated-time sampling period for -timeseries-out, in refresh windows (tREFI intervals)")
+	fs.DurationVar(&c.SampleWall, "sample-wall", 0, "sample on the wall clock at this interval instead of on refresh windows (e.g. 250ms; for server runs)")
+	fs.StringVar(&c.PprofAddr, "pprof", "", "serve /metrics, /debug/vars, /debug/trace, /debug/timeseries, /debug/health and /debug/pprof on this address (e.g. :6060)")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a runtime/pprof heap profile to this file at exit")
 }
 
-// Start enables tracing, starts profiling, and launches the debug
-// server as requested by the parsed flags.
+// Start enables tracing and the flight recorder, starts profiling, and
+// launches the debug server as requested by the parsed flags.
 func (c *CLI) Start() error {
 	if c.TraceOut != "" {
 		tr := DefaultTracer()
 		tr.SetCapacity(c.TraceBuf)
 		tr.SetEnabled(true)
+	}
+	if c.TimeseriesOut != "" || c.PprofAddr != "" {
+		s := DefaultSampler()
+		s.Reset()
+		if c.SampleWall > 0 {
+			s.StartWall(c.SampleWall)
+		} else {
+			s.SetSimEvery(c.SampleEvery)
+			s.SetEnabled(true)
+		}
 	}
 	if c.CPUProfile != "" {
 		f, err := os.Create(c.CPUProfile)
@@ -54,7 +72,8 @@ func (c *CLI) Start() error {
 	}
 	if c.PprofAddr != "" {
 		go func() {
-			if err := ListenAndServe(c.PprofAddr, DefaultRegistry(), DefaultTracer()); err != nil {
+			if err := ListenAndServe(c.PprofAddr, DefaultRegistry(), DefaultTracer(),
+				DefaultSampler(), DefaultMonitor()); err != nil {
 				fmt.Fprintf(os.Stderr, "telemetry: debug server: %v\n", err)
 			}
 		}()
@@ -94,6 +113,31 @@ func (c *CLI) Finish() error {
 		if err := DefaultTracer().WriteChromeTrace(f); err != nil {
 			f.Close()
 			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if c.TimeseriesOut != "" {
+		s := DefaultSampler()
+		if s.Samples() == 0 {
+			// Short runs (or replays with no NMA in the loop) may never
+			// cross a sampling period; one final sample still records
+			// the run's totals as a single window.
+			s.FinalSample()
+		}
+		s.Stop()
+		f, err := os.Create(c.TimeseriesOut)
+		if err != nil {
+			return err
+		}
+		write := s.WriteJSON
+		if strings.HasSuffix(c.TimeseriesOut, ".csv") {
+			write = s.WriteCSV
+		}
+		if werr := write(f); werr != nil {
+			f.Close()
+			return werr
 		}
 		if err := f.Close(); err != nil {
 			return err

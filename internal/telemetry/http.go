@@ -34,14 +34,50 @@ func TraceHandler(t *Tracer) http.Handler {
 	})
 }
 
+// TimeseriesHandler serves the flight recorder's series as the Dump
+// JSON schema; `?format=csv` switches to long-format CSV
+// (series,t,value).
+func TimeseriesHandler(s *Sampler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "csv" {
+			w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+			_ = s.WriteCSV(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = s.WriteJSON(w)
+	})
+}
+
+// HealthHandler evaluates the monitor over the sampler's current
+// series and serves the verdict as JSON. A CRITICAL verdict answers
+// 503 so load balancers and `curl -f` can gate on it; OK and DEGRADED
+// answer 200.
+func HealthHandler(m *Monitor, s *Sampler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		h := m.Evaluate(s.Dump())
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if h.Code >= int(SevCritical) {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h)
+	})
+}
+
 // DebugMux builds the debug HTTP surface: /metrics (Prometheus),
-// /debug/vars (JSON snapshot), /debug/trace (Chrome trace JSON), and
-// the standard /debug/pprof endpoints for wall-clock profiling.
-func DebugMux(r *Registry, t *Tracer) *http.ServeMux {
+// /debug/vars (JSON snapshot), /debug/trace (Chrome trace JSON),
+// /debug/timeseries (flight-recorder dump, JSON or ?format=csv),
+// /debug/health (monitor verdict), and the standard /debug/pprof
+// endpoints for wall-clock profiling.
+func DebugMux(r *Registry, t *Tracer, s *Sampler, m *Monitor) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(r))
 	mux.Handle("/debug/vars", VarsHandler(r))
 	mux.Handle("/debug/trace", TraceHandler(t))
+	mux.Handle("/debug/timeseries", TimeseriesHandler(s))
+	mux.Handle("/debug/health", HealthHandler(m, s))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -52,6 +88,6 @@ func DebugMux(r *Registry, t *Tracer) *http.ServeMux {
 
 // ListenAndServe serves DebugMux on addr (e.g. ":6060"), blocking; run
 // it in a goroutine.
-func ListenAndServe(addr string, r *Registry, t *Tracer) error {
-	return http.ListenAndServe(addr, DebugMux(r, t))
+func ListenAndServe(addr string, r *Registry, t *Tracer, s *Sampler, m *Monitor) error {
+	return http.ListenAndServe(addr, DebugMux(r, t, s, m))
 }

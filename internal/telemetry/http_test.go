@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestTimeseriesAndHealthEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	ctr := reg.Counter("test_ops_total", "ops")
+	s := NewSampler(reg, 8, "test_ops_total")
+	s.Reset()
+	s.SetEnabled(true)
+	ctr.Add(3)
+	s.Sample(100)
+
+	m := NewMonitor(
+		Rule{Name: "ops-flowing", Value: SeriesExpr("test_ops_total", AggLast, 0),
+			Above: true, Threshold: 100, Severity: SevCritical},
+	)
+	mux := DebugMux(reg, NewTracer(), s, m)
+
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/timeseries", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/debug/timeseries = %d", rr.Code)
+	}
+	d, err := ReadDump(rr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts := d.Index()["test_ops_total"]; len(pts) != 1 || pts[0].V != 3 {
+		t.Fatalf("served dump points = %v, want one delta of 3", d.Index()["test_ops_total"])
+	}
+
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/timeseries?format=csv", nil))
+	if got := rr.Body.String(); !strings.HasPrefix(got, "series,t,value\n") ||
+		!strings.Contains(got, "test_ops_total,100,3\n") {
+		t.Fatalf("CSV body = %q", got)
+	}
+
+	// Rule not firing (3 < 100): healthy, HTTP 200.
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/health", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/debug/health healthy = %d, want 200", rr.Code)
+	}
+	var h Health
+	if err := json.NewDecoder(rr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "OK" || len(h.Checks) != 1 {
+		t.Fatalf("healthy verdict = %+v", h)
+	}
+
+	// Push the counter over the critical threshold: HTTP 503, body
+	// still the verdict.
+	ctr.Add(500)
+	s.Sample(200)
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/health", nil))
+	if rr.Code != 503 {
+		t.Fatalf("/debug/health critical = %d, want 503", rr.Code)
+	}
+	if err := json.NewDecoder(rr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "CRITICAL" || !h.Checks[0].Firing {
+		t.Fatalf("critical verdict = %+v", h)
+	}
+}

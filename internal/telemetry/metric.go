@@ -218,6 +218,120 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return hi
 }
 
+// HistogramState is a value snapshot of a histogram's buckets and sum,
+// the unit of windowed (per-sample-interval) quantile math: the flight
+// recorder subtracts two states to get the observations of one window
+// without ever calling Reset on a live instrument. Count is derived
+// from the buckets, so per-bucket deltas between two states taken from
+// the same histogram are always ≥ 0 even while writers are running
+// (each bucket is individually monotone). Sum is read separately and
+// may lag or lead the buckets by in-flight observations.
+type HistogramState struct {
+	// Bounds aliases the histogram's sorted upper bounds; callers must
+	// not mutate it.
+	Bounds []float64
+	// Counts holds non-cumulative per-bucket counts; the final entry is
+	// the +Inf bucket.
+	Counts []int64
+	Sum    float64
+}
+
+// State captures the current bucket counts and sum.
+func (h *Histogram) State() HistogramState {
+	s := HistogramState{Bounds: h.bounds, Counts: make([]int64, len(h.counts))}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Sum = h.sum.Value()
+	return s
+}
+
+// Count returns the total observations in the state (the sum of the
+// bucket counts).
+func (s HistogramState) Count() int64 {
+	var n int64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Mean returns Sum/Count, or 0 when empty.
+func (s HistogramState) Mean() float64 {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	return s.Sum / float64(n)
+}
+
+// Delta returns the windowed view s − prev: the observations recorded
+// between the two snapshots. A zero-value prev yields s itself, so the
+// first window of a recording needs no special casing. The states must
+// come from the same histogram (same bucket layout); a shape mismatch
+// panics, as it indicates the caller mixed instruments.
+func (s HistogramState) Delta(prev HistogramState) HistogramState {
+	if prev.Counts == nil {
+		return s
+	}
+	if len(prev.Counts) != len(s.Counts) {
+		panic("telemetry: HistogramState.Delta across different bucket layouts")
+	}
+	d := HistogramState{Bounds: s.Bounds, Counts: make([]int64, len(s.Counts)), Sum: s.Sum - prev.Sum}
+	for i := range s.Counts {
+		d.Counts[i] = s.Counts[i] - prev.Counts[i]
+	}
+	return d
+}
+
+// Quantile estimates the q-th quantile of the state's observations by
+// linear interpolation inside the bucket holding the target rank
+// (Prometheus histogram_quantile semantics: the lower edge of the
+// first bucket is 0 when its upper bound is positive, and the +Inf
+// bucket answers with the largest finite bound). Returns 0 when the
+// state is empty or q is NaN.
+func (s HistogramState) Quantile(q float64) float64 {
+	n := s.Count()
+	if n == 0 || math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(n)
+	cum := 0.0
+	for i, c := range s.Counts {
+		cum += float64(c)
+		if c == 0 || cum < target {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: the best available answer is the largest
+			// finite bound.
+			if len(s.Bounds) == 0 {
+				return 0
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		upper := s.Bounds[i]
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		} else if upper <= 0 {
+			lower = upper
+		}
+		frac := (target - (cum - float64(c))) / float64(c)
+		return lower + (upper-lower)*frac
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // Reset zeroes every bucket, the count, the sum, and the extrema.
 func (h *Histogram) Reset() {
 	for i := range h.counts {

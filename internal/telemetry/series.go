@@ -1,0 +1,533 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder: a Sampler periodically snapshots selected
+// registry metrics into fixed-capacity ring-buffered time series, so
+// the signals that matter in a windowed system — fallback-rate spikes,
+// slot-utilization collapse, queue-full stall storms — are visible as
+// trajectories instead of end-of-run totals.
+//
+// Two clock domains exist. In the simulated-time domain (the default)
+// nma.Sim drives the recorder by calling SimTick at the end of every
+// refresh window; the sampler takes one sample every SimEvery ticks,
+// so each sample is a tREFI epoch and the recorded series are
+// bit-deterministic for a fixed seed at any worker count (samples are
+// taken on the serial window-stepping path, after all parallel-phase
+// counter bumps have completed). In the wall-clock domain (StartWall)
+// a goroutine samples every interval, for long-running servers and
+// benches. The disabled fast path of SimTick is one atomic load.
+
+// Point is one sample of one series: T is simulated picoseconds in
+// the sim domain or Unix nanoseconds in the wall domain.
+type Point struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// Series kinds recorded by the sampler.
+const (
+	SeriesCounter = "counter" // per-window delta of a (summed) counter family
+	SeriesGauge   = "gauge"   // instantaneous value (summed across children)
+	SeriesHCount  = "hist_count"
+	SeriesHSum    = "hist_sum"
+	SeriesHP50    = "hist_p50"
+	SeriesHP95    = "hist_p95"
+	SeriesHP99    = "hist_p99"
+)
+
+// series is one ring-buffered timeline.
+type series struct {
+	name    string // series name (metric name plus any histogram suffix)
+	kind    string
+	metric  string // source family
+	buf     []Point
+	next, n int
+	dropped int64
+}
+
+func (s *series) push(p Point) {
+	s.buf[s.next] = p
+	s.next = (s.next + 1) % len(s.buf)
+	if s.n < len(s.buf) {
+		s.n++
+	} else {
+		s.dropped++
+	}
+}
+
+func (s *series) points() []Point {
+	out := make([]Point, 0, s.n)
+	start := s.next - s.n
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.buf[(start+i+len(s.buf))%len(s.buf)])
+	}
+	return out
+}
+
+// DefaultSeriesCapacity is the per-series ring size.
+const DefaultSeriesCapacity = 1024
+
+// DefaultSimEvery is the default sampling period in refresh windows
+// (tREFI intervals) for the simulated-time clock domain.
+const DefaultSimEvery = 64
+
+// Sampler records time series over one registry. The zero value is not
+// usable; call NewSampler (or use DefaultSampler). All methods are safe
+// for concurrent use.
+type Sampler struct {
+	reg     *Registry
+	enabled atomic.Bool
+	// simEvery is the sim-domain sampling period in ticks; 0 routes
+	// around SimTick entirely (wall domain or recorder unused).
+	simEvery atomic.Int64
+	ticks    atomic.Int64
+
+	mu       sync.Mutex
+	wall     bool // true after StartWall: timestamps are wall nanoseconds
+	names    []string
+	capacity int
+	order    []*series
+	byName   map[string]*series
+	prevCtr  map[string]float64
+	prevHist map[string]HistogramState
+	samples  int
+	lastT    int64
+	haveLast bool
+	stop     chan struct{}
+}
+
+// NewSampler builds a disabled sampler over reg recording the given
+// metric families (DefaultSeriesMetrics when empty) with the given
+// per-series ring capacity (DefaultSeriesCapacity when ≤ 0).
+func NewSampler(reg *Registry, capacity int, metrics ...string) *Sampler {
+	if capacity <= 0 {
+		capacity = DefaultSeriesCapacity
+	}
+	if len(metrics) == 0 {
+		metrics = DefaultSeriesMetrics()
+	}
+	s := &Sampler{
+		reg:      reg,
+		capacity: capacity,
+		names:    append([]string(nil), metrics...),
+		byName:   map[string]*series{},
+		prevCtr:  map[string]float64{},
+		prevHist: map[string]HistogramState{},
+	}
+	s.simEvery.Store(DefaultSimEvery)
+	return s
+}
+
+// SetMetrics replaces the selected metric families and clears any
+// recorded data.
+func (s *Sampler) SetMetrics(metrics ...string) {
+	s.mu.Lock()
+	s.names = append([]string(nil), metrics...)
+	s.resetLocked()
+	s.mu.Unlock()
+}
+
+// Metrics returns the selected metric family names.
+func (s *Sampler) Metrics() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.names...)
+}
+
+// SetSimEvery sets the simulated-time sampling period in refresh
+// windows (SimTick calls per sample); n ≤ 0 disables sim-domain
+// sampling.
+func (s *Sampler) SetSimEvery(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.simEvery.Store(int64(n))
+}
+
+// SetEnabled turns the recorder on or off. Enabling does not
+// re-baseline; call Reset first when starting a fresh recording.
+func (s *Sampler) SetEnabled(on bool) { s.enabled.Store(on) }
+
+// Enabled reports whether the recorder is on.
+func (s *Sampler) Enabled() bool { return s.enabled.Load() }
+
+// Reset clears every recorded series and re-baselines the counter and
+// histogram snapshots at the metrics' current values, so the first
+// recorded window holds only activity after the reset.
+func (s *Sampler) Reset() {
+	s.mu.Lock()
+	s.resetLocked()
+	s.mu.Unlock()
+}
+
+func (s *Sampler) resetLocked() {
+	s.order = nil
+	s.byName = map[string]*series{}
+	s.prevCtr = map[string]float64{}
+	s.prevHist = map[string]HistogramState{}
+	s.samples = 0
+	s.haveLast = false
+	s.lastT = 0
+	s.ticks.Store(0)
+	for _, name := range s.names {
+		f := s.reg.familyByName(name)
+		if f == nil {
+			continue
+		}
+		switch f.kind {
+		case kindCounter, kindFloatCounter:
+			s.prevCtr[name] = f.counterTotal()
+		case kindHistogram:
+			s.prevHist[name] = f.mergedState()
+		}
+	}
+}
+
+// Samples returns the number of samples taken since the last Reset.
+func (s *Sampler) Samples() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.samples
+}
+
+// SimTick is the simulated-time clock input, called by nma.Sim at the
+// end of every refresh window with the window's execution time in
+// picoseconds. Every SimEvery-th tick takes a sample. Ticks that do
+// not advance the recorded timeline (a second simulator running behind
+// the first) are dropped, keeping timestamps strictly monotonic.
+func (s *Sampler) SimTick(nowPs int64) {
+	if !s.enabled.Load() {
+		return
+	}
+	every := s.simEvery.Load()
+	if every <= 0 {
+		return
+	}
+	if s.ticks.Add(1)%every != 0 {
+		return
+	}
+	s.mu.Lock()
+	if !s.wall {
+		s.sampleLocked(nowPs)
+	}
+	s.mu.Unlock()
+}
+
+// Sample takes one sample at timestamp t (simulated picoseconds or
+// wall nanoseconds, depending on the clock domain). Non-monotonic
+// timestamps are dropped.
+func (s *Sampler) Sample(t int64) {
+	s.mu.Lock()
+	s.sampleLocked(t)
+	s.mu.Unlock()
+}
+
+// FinalSample appends one last sample just past the end of the
+// recorded timeline, so short runs that never crossed a sampling
+// period still produce a non-empty artifact.
+func (s *Sampler) FinalSample() {
+	s.mu.Lock()
+	s.sampleLocked(s.lastT + 1)
+	s.mu.Unlock()
+}
+
+func (s *Sampler) sampleLocked(t int64) {
+	if s.haveLast && t <= s.lastT {
+		return
+	}
+	s.lastT = t
+	s.haveLast = true
+	for _, name := range s.names {
+		f := s.reg.familyByName(name)
+		if f == nil {
+			continue
+		}
+		switch f.kind {
+		case kindCounter, kindFloatCounter:
+			cur := f.counterTotal()
+			s.get(name, SeriesCounter, name).push(Point{T: t, V: cur - s.prevCtr[name]})
+			s.prevCtr[name] = cur
+		case kindGauge:
+			s.get(name, SeriesGauge, name).push(Point{T: t, V: f.gaugeTotal()})
+		case kindGaugeFunc:
+			s.get(name, SeriesGauge, name).push(Point{T: t, V: f.fn()})
+		case kindHistogram:
+			cur := f.mergedState()
+			d := cur.Delta(s.prevHist[name])
+			s.prevHist[name] = cur
+			s.get(name+"_count", SeriesHCount, name).push(Point{T: t, V: float64(d.Count())})
+			s.get(name+"_sum", SeriesHSum, name).push(Point{T: t, V: d.Sum})
+			s.get(name+"_p50", SeriesHP50, name).push(Point{T: t, V: d.Quantile(0.50)})
+			s.get(name+"_p95", SeriesHP95, name).push(Point{T: t, V: d.Quantile(0.95)})
+			s.get(name+"_p99", SeriesHP99, name).push(Point{T: t, V: d.Quantile(0.99)})
+		}
+	}
+	s.samples++
+}
+
+func (s *Sampler) get(name, kind, metric string) *series {
+	sr := s.byName[name]
+	if sr == nil {
+		sr = &series{name: name, kind: kind, metric: metric, buf: make([]Point, s.capacity)}
+		s.byName[name] = sr
+		s.order = append(s.order, sr)
+	}
+	return sr
+}
+
+// StartWall switches the sampler to the wall-clock domain and starts a
+// goroutine sampling every interval until Stop. Sim ticks are ignored
+// while the wall clock runs.
+func (s *Sampler) StartWall(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.wall = true
+	s.simEvery.Store(0)
+	stop := make(chan struct{})
+	s.stop = stop
+	s.mu.Unlock()
+	s.enabled.Store(true)
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-t.C:
+				s.Sample(now.UnixNano())
+			}
+		}
+	}()
+}
+
+// Stop halts a wall-clock sampling goroutine (no-op otherwise) and
+// disables the recorder. Recorded series stay readable.
+func (s *Sampler) Stop() {
+	s.enabled.Store(false)
+	s.mu.Lock()
+	if s.stop != nil {
+		close(s.stop)
+		s.stop = nil
+	}
+	s.mu.Unlock()
+}
+
+// Clock names used in dumps.
+const (
+	ClockSimPs  = "sim-ps"
+	ClockWallNs = "wall-ns"
+)
+
+// SeriesDump is the exported view of one recorded series.
+type SeriesDump struct {
+	Name    string  `json:"name"`
+	Kind    string  `json:"kind"`
+	Metric  string  `json:"metric"`
+	Dropped int64   `json:"dropped,omitempty"`
+	Points  []Point `json:"points"`
+}
+
+// Dump is the time-series artifact schema (written by -timeseries-out,
+// served on /debug/timeseries, validated by telemetryck, rendered by
+// xfmtop).
+type Dump struct {
+	Schema   int    `json:"schema"`
+	Clock    string `json:"clock"`
+	SimEvery int64  `json:"sim_every,omitempty"`
+	Samples  int    `json:"samples"`
+	// Ticks counts clock inputs seen (sim domain: refresh windows).
+	Ticks  int64        `json:"ticks,omitempty"`
+	Series []SeriesDump `json:"series"`
+}
+
+// DumpSchemaVersion is the current Dump schema.
+const DumpSchemaVersion = 1
+
+// Dump snapshots every recorded series.
+func (s *Sampler) Dump() *Dump {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := &Dump{
+		Schema:  DumpSchemaVersion,
+		Clock:   ClockSimPs,
+		Samples: s.samples,
+		Ticks:   s.ticks.Load(),
+	}
+	if s.wall {
+		d.Clock = ClockWallNs
+	} else {
+		d.SimEvery = s.simEvery.Load()
+	}
+	for _, sr := range s.order {
+		d.Series = append(d.Series, SeriesDump{
+			Name: sr.name, Kind: sr.kind, Metric: sr.metric,
+			Dropped: sr.dropped, Points: sr.points(),
+		})
+	}
+	return d
+}
+
+// WriteJSON writes the dump as indented JSON.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s.Dump())
+}
+
+// WriteCSV writes the dump in long format (series,t,value), one row
+// per point — trivially loadable into any plotting tool and robust to
+// series of unequal length.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	d := s.Dump()
+	if _, err := io.WriteString(w, "series,t,value\n"); err != nil {
+		return err
+	}
+	for _, sr := range d.Series {
+		for _, p := range sr.Points {
+			if _, err := fmt.Fprintf(w, "%s,%d,%s\n", sr.Name, p.T, promFloat(p.V)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadDump parses a time-series artifact.
+func ReadDump(r io.Reader) (*Dump, error) {
+	var d Dump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("telemetry: invalid time-series dump: %w", err)
+	}
+	return &d, nil
+}
+
+// Index maps series names to their points for health-rule evaluation.
+func (d *Dump) Index() SeriesIndex {
+	idx := make(SeriesIndex, len(d.Series))
+	for _, s := range d.Series {
+		idx[s.Name] = s.Points
+	}
+	return idx
+}
+
+// familyByName returns the named family, or nil.
+func (r *Registry) familyByName(name string) *family {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.fams[name]
+}
+
+// counterTotal sums a counter family's children (one child when
+// unlabeled). Summation commutes, so map iteration order is harmless.
+func (f *family) counterTotal() float64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	total := 0.0
+	for _, m := range f.children {
+		switch m := m.(type) {
+		case *Counter:
+			total += float64(m.Value())
+		case *FloatCounter:
+			total += m.Value()
+		}
+	}
+	return total
+}
+
+// gaugeTotal sums a gauge family's children (for vec families like
+// per-shard occupancy the sum is the meaningful fleet-wide value).
+func (f *family) gaugeTotal() float64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	total := 0.0
+	for _, m := range f.children {
+		if g, ok := m.(*Gauge); ok {
+			total += g.Value()
+		}
+	}
+	return total
+}
+
+// mergedState merges the bucket states of a histogram family's
+// children (same bucket layout within one family by construction).
+func (f *family) mergedState() HistogramState {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var out HistogramState
+	for _, m := range f.children {
+		h, ok := m.(*Histogram)
+		if !ok {
+			continue
+		}
+		st := h.State()
+		if out.Counts == nil {
+			out = st
+			continue
+		}
+		for i := range st.Counts {
+			out.Counts[i] += st.Counts[i]
+		}
+		out.Sum += st.Sum
+	}
+	return out
+}
+
+// DefaultSeriesMetrics is the curated catalogue the default sampler
+// records: the windowed signals the health rules and xfmtop read. Every
+// entry is deterministic under the simulated clock (no wall-time
+// histograms), so sim-domain recordings are bit-identical for a fixed
+// seed at any worker count.
+func DefaultSeriesMetrics() []string {
+	return []string{
+		// Offload path volume.
+		"sfm_swap_outs_total", "sfm_swap_ins_total",
+		"sfm_same_filled_total", "sfm_incompressible_total",
+		"xfm_offloads_total", "xfm_fallbacks_total",
+		"xfm_ecc_corrected_total", "xfm_ecc_uncorrectable_total",
+		// NMA refresh-window machinery.
+		"nma_windows_total", "nma_busy_windows_total",
+		"nma_requests_submitted_total", "nma_requests_rejected_total",
+		"nma_requests_completed_total",
+		"nma_conditional_accesses_total", "nma_random_accesses_total",
+		"nma_slots_offered_total",
+		// Memory controller pressure.
+		"memctrl_requests_total", "memctrl_queue_full_stalls_total",
+		// Instantaneous state and derived rates.
+		"xfm_fallback_rate", "nma_slot_utilization",
+		"nma_queue_depth", "nma_spm_used_bytes",
+		"memctrl_read_queue_depth", "memctrl_write_queue_depth",
+		"workload_promotion_rate",
+		// Latency and size distributions (windowed quantiles).
+		"nma_offload_latency_ps", "memctrl_request_latency_ps",
+		"sfm_compressed_page_bytes",
+	}
+}
+
+var (
+	defaultSamplerOnce sync.Once
+	defaultSampler     *Sampler
+)
+
+// DefaultSampler returns the process-wide flight recorder over the
+// default registry, disabled until a CLI (or test) enables it.
+func DefaultSampler() *Sampler {
+	defaultSamplerOnce.Do(func() {
+		defaultSampler = NewSampler(defaultRegistry, DefaultSeriesCapacity)
+	})
+	return defaultSampler
+}

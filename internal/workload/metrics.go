@@ -1,0 +1,11 @@
+package workload
+
+import "xfm/internal/telemetry"
+
+// Process-wide workload metrics. The promotion-rate gauge is updated
+// as the synthetic applications run (each cold-scan epoch of the web
+// front-end), so the flight recorder sees the §2.1 promotion rate as a
+// trajectory and the health monitor can flag drift outside the
+// validated band, not just the end-of-run figure.
+var gPromotionRate = telemetry.NewGauge("workload_promotion_rate",
+	"Observed far-memory promotion rate (§2.1): distinct bytes promoted over distinct bytes ever far, so far.")

@@ -81,9 +81,25 @@ func (w WebFrontend) Run(backend sfm.Backend) (Result, error) {
 	// Distinct-page tracking for the promotion rate (§2.1): everFar
 	// marks pages that resided in far memory at any point, promoted
 	// marks those promoted back at least once. Raw byte counters would
-	// count re-promotions of the same hot page every time.
+	// count re-promotions of the same hot page every time. The running
+	// counts feed the workload_promotion_rate gauge every cold-scan
+	// epoch so the flight recorder sees the rate as a trajectory.
 	everFar := make([]bool, w.Pages)
 	promoted := make([]bool, w.Pages)
+	farCount, promCount := 0, 0
+	markFar := func(i int) {
+		if !everFar[i] {
+			everFar[i] = true
+			farCount++
+		}
+	}
+	markPromoted := func(i int) {
+		markFar(i)
+		if !promoted[i] {
+			promoted[i] = true
+			promCount++
+		}
+	}
 	hotBase := 0
 	now := dram.Ps(0)
 	for q := 0; q < w.Queries; q++ {
@@ -98,8 +114,7 @@ func (w WebFrontend) Run(backend sfm.Backend) (Result, error) {
 				if !heap.Resident(id) {
 					if err := heap.Prefetch(now, id); err == nil {
 						rec = append(rec, trace.Record{AtPs: now, Op: trace.Prefetch, PageID: int64(id), Bytes: sfm.PageSize})
-						everFar[pi] = true
-						promoted[pi] = true
+						markPromoted(pi)
 					}
 				}
 			}
@@ -112,8 +127,7 @@ func (w WebFrontend) Run(backend sfm.Backend) (Result, error) {
 		}
 		if wasFar {
 			rec = append(rec, trace.Record{AtPs: now, Op: trace.SwapIn, PageID: int64(id), Bytes: sfm.PageSize})
-			everFar[idx] = true
-			promoted[idx] = true
+			markPromoted(idx)
 		}
 		// Periodic cold scan (the kreclaimd-style daemon).
 		if q%100 == 99 {
@@ -127,20 +141,16 @@ func (w WebFrontend) Run(backend sfm.Backend) (Result, error) {
 			// here observes every page that ever went far.
 			for i, id := range ids {
 				if !heap.Resident(id) {
-					everFar[i] = true
+					markFar(i)
 				}
+			}
+			if farCount > 0 {
+				gPromotionRate.Set(float64(promCount) / float64(farCount))
 			}
 		}
 	}
-	var promotedBytes, farBytes int64
-	for i := range everFar {
-		if everFar[i] {
-			farBytes += sfm.PageSize
-		}
-		if promoted[i] {
-			promotedBytes += sfm.PageSize
-		}
-	}
+	promotedBytes := int64(promCount) * sfm.PageSize
+	farBytes := int64(farCount) * sfm.PageSize
 	res := Result{
 		Trace:        rec,
 		HeapStats:    heap.Stats(),
