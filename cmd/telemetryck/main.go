@@ -8,7 +8,7 @@
 //
 //	telemetryck [-metrics FILE] [-trace FILE] [-require name,name,...]
 //	            [-require-nesting] [-timeseries FILE]
-//	            [-require-series name,name,...]
+//	            [-require-series name,name,...] [-diff FILE,FILE]
 //
 // -require lists metric names that must appear with at least one
 // sample. -require-nesting demands that the trace contains at least one
@@ -18,6 +18,13 @@
 // schema version, strictly monotonic timestamps within each series,
 // non-negative counter-kind deltas, and (via -require-series) the
 // presence of named series with at least one point.
+//
+// -diff A,B is timeseriesdiff mode: compare two -timeseries-out dumps
+// series-by-series and report the first divergent window of each,
+// exiting nonzero on any difference. Sim-time recordings are
+// bit-deterministic, so CI uses this to prove the NMA engine's idle
+// fast-forward produces recordings identical to brute window stepping
+// (xfmbench -nma-stepped; DESIGN §6b).
 package main
 
 import (
@@ -27,6 +34,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"xfm/internal/telemetry"
 )
 
 func fail(format string, args ...any) {
@@ -266,6 +275,46 @@ func checkTimeseries(path, requireSeries string) {
 		d.Clock, d.Samples, len(d.Series), points)
 }
 
+// checkDiff is timeseriesdiff mode: load two recordings and report
+// every series' first divergent window. Unlike the validators above it
+// deliberately reuses internal/telemetry's reader and comparator — the
+// diff checks the *engine's* determinism contract, not the artifact
+// schema, so both sides must be parsed exactly as the producer wrote
+// them.
+func checkDiff(arg string) {
+	parts := strings.Split(arg, ",")
+	if len(parts) != 2 || strings.TrimSpace(parts[0]) == "" || strings.TrimSpace(parts[1]) == "" {
+		fail("-diff wants exactly two files: -diff A,B")
+	}
+	pathA, pathB := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+	read := func(path string) *telemetry.Dump {
+		f, err := os.Open(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		d, err := telemetry.ReadDump(f)
+		if err != nil {
+			fail("%s: %v", path, err)
+		}
+		return d
+	}
+	a, b := read(pathA), read(pathB)
+	diffs := telemetry.DiffDumps(a, b)
+	if len(diffs) > 0 {
+		for _, d := range diffs {
+			fmt.Fprintf(os.Stderr, "telemetryck: diff: %s\n", d)
+		}
+		fail("%s and %s diverge in %d place(s)", pathA, pathB, len(diffs))
+	}
+	points := 0
+	for _, s := range a.Series {
+		points += len(s.Points)
+	}
+	fmt.Printf("timeseriesdiff ok: %d series, %d samples, %d points identical\n",
+		len(a.Series), a.Samples, points)
+}
+
 func main() {
 	metrics := flag.String("metrics", "", "Prometheus text metrics file to validate")
 	traceOut := flag.String("trace", "", "Chrome trace-event JSON file to validate")
@@ -273,10 +322,11 @@ func main() {
 	requireNesting := flag.Bool("require-nesting", false, "require nma spans nested in refresh-window spans")
 	timeseries := flag.String("timeseries", "", "flight-recorder time-series dump to validate")
 	requireSeries := flag.String("require-series", "", "comma-separated series names that must be present in -timeseries")
+	diff := flag.String("diff", "", "compare two comma-separated time-series dumps and report each series' first divergent window")
 	flag.Parse()
 
-	if *metrics == "" && *traceOut == "" && *timeseries == "" {
-		fail("nothing to check: pass -metrics, -trace, and/or -timeseries")
+	if *metrics == "" && *traceOut == "" && *timeseries == "" && *diff == "" {
+		fail("nothing to check: pass -metrics, -trace, -timeseries, and/or -diff")
 	}
 	if *metrics != "" {
 		names := checkMetrics(*metrics)
@@ -299,5 +349,8 @@ func main() {
 	}
 	if *timeseries != "" {
 		checkTimeseries(*timeseries, *requireSeries)
+	}
+	if *diff != "" {
+		checkDiff(*diff)
 	}
 }

@@ -8,7 +8,7 @@
 //	xfmbench [-csv] [-list] [-j N] [-metrics-out FILE] [-trace-out FILE]
 //	         [-timeseries-out FILE] [-sample-every N] [-sample-wall DUR]
 //	         [-pprof ADDR] [-cpuprofile FILE] [-memprofile FILE]
-//	         [-bench-json DIR]
+//	         [-bench-json DIR] [-nma-stepped]
 //	         [experiment ...]
 //
 // With -bench-json DIR the experiments are skipped; instead the
@@ -34,6 +34,7 @@ import (
 
 	"xfm/internal/bench"
 	"xfm/internal/experiments"
+	"xfm/internal/nma"
 	"xfm/internal/telemetry"
 )
 
@@ -44,9 +45,15 @@ func main() {
 	outDir := flag.String("out", "", "also write each experiment's table as CSV into this directory")
 	jobs := flag.Int("j", 0, "experiments to run in parallel (0 = GOMAXPROCS, 1 = serial); tables are identical at any setting")
 	benchJSON := flag.String("bench-json", "", "run the swap-path bench scenarios and write BENCH_*.json artifacts into this directory (skips the experiments)")
+	nmaStepped := flag.Bool("nma-stepped", false, "disable the NMA idle fast-forward and step every refresh window (slow; for proving recordings are identical either way)")
 	var tel telemetry.CLI
 	tel.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	// Observable results are identical with and without the
+	// fast-forward; CI records a run each way and diffs the recordings
+	// with `telemetryck -diff` to prove it (DESIGN §6b).
+	nma.SetFastForward(!*nmaStepped)
 
 	if err := tel.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

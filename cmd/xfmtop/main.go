@@ -7,13 +7,16 @@
 //
 //	xfmtop [-url http://localhost:6060] [-file timeseries.json]
 //	       [-refresh 1s] [-width 60] [-filter substr] [-once]
+//	       [-health-exit]
 //
 // With -url it polls /debug/timeseries and /debug/health every
 // -refresh and redraws in place (ANSI clear). With -file it reads a
 // recorded dump (written by `xfmbench -timeseries-out`), evaluates the
 // default health rules locally, and renders the same view. -once
 // renders a single frame without ANSI control codes and exits — the CI
-// smoke mode.
+// smoke mode. -health-exit makes -once exit 3 when the rendered
+// verdict is DEGRADED or CRITICAL, so scripts can gate on a run's
+// health, not just render it.
 package main
 
 import (
@@ -156,6 +159,7 @@ func main() {
 	width := flag.Int("width", 60, "sparkline width in samples")
 	filter := flag.String("filter", "", "only show series whose name contains this substring")
 	once := flag.Bool("once", false, "render one frame without ANSI control codes and exit (CI mode)")
+	healthExit := flag.Bool("health-exit", false, "with -once, exit 3 when the health verdict is DEGRADED or CRITICAL")
 	flag.Parse()
 
 	if (*url == "") == (*file == "") {
@@ -166,26 +170,26 @@ func main() {
 	client := &http.Client{Timeout: 5 * time.Second}
 	monitor := telemetry.NewMonitor() // default rules, local evaluation
 
-	frame := func() (string, error) {
+	frame := func() (string, telemetry.Health, error) {
 		var d *telemetry.Dump
 		var h telemetry.Health
 		var src string
 		if *file != "" {
 			f, err := os.Open(*file)
 			if err != nil {
-				return "", err
+				return "", h, err
 			}
 			d, err = telemetry.ReadDump(f)
 			f.Close()
 			if err != nil {
-				return "", err
+				return "", h, err
 			}
 			h = monitor.Evaluate(d)
 			src = *file
 		} else {
 			d = &telemetry.Dump{}
 			if err := fetchJSON(client, *url+"/debug/timeseries", d); err != nil {
-				return "", err
+				return "", h, err
 			}
 			if err := fetchJSON(client, *url+"/debug/health", &h); err != nil {
 				// A server predating /debug/health still has series;
@@ -196,21 +200,25 @@ func main() {
 		}
 		var b strings.Builder
 		render(&b, d, h, src, *width, *filter)
-		return b.String(), nil
+		return b.String(), h, nil
 	}
 
 	if *once {
-		out, err := frame()
+		out, h, err := frame()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xfmtop:", err)
 			os.Exit(1)
 		}
 		fmt.Print(out)
+		if *healthExit && h.Code != 0 {
+			fmt.Fprintf(os.Stderr, "xfmtop: health %s (-health-exit)\n", h.Status)
+			os.Exit(3)
+		}
 		return
 	}
 
 	for {
-		out, err := frame()
+		out, _, err := frame()
 		// ANSI: home cursor, clear to end of screen (less flicker than
 		// a full clear).
 		fmt.Print("\x1b[H\x1b[2J\x1b[3J")

@@ -67,6 +67,9 @@ type scenario struct {
 	shards  int
 	workers int
 	ids     func(i int) sfm.PageID
+	// custom, when set, replaces the swap-path harness entirely (the
+	// NMA simulator scenario measures window advance, not swaps).
+	custom func(name string) (Result, error)
 }
 
 const benchPages = 256
@@ -108,6 +111,10 @@ func scenarios() []scenario {
 			mk:     func() sfm.Backend { return sfm.NewShardedBackend(compress.NewLZFast(), 0, benchShards, 0) },
 			shards: benchShards,
 			ids:    skewedID,
+		},
+		{
+			name:   "nma_window_sweep",
+			custom: runNMAWindowSweep,
 		},
 	}
 }
@@ -199,6 +206,9 @@ func steadyState(intervals []float64) float64 {
 
 // run measures one scenario.
 func run(sc scenario) (Result, error) {
+	if sc.custom != nil {
+		return sc.custom(sc.name)
+	}
 	outs, ins := pages(sc.ids)
 	backend := sc.mk()
 	var failure error

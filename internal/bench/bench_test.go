@@ -207,6 +207,7 @@ func TestScenarioNamesStable(t *testing.T) {
 		"swap_parallel_xdeflate",
 		"swap_sharded_lzfast",
 		"swap_skewed_lzfast",
+		"nma_window_sweep",
 	}
 	got := Names()
 	if len(got) != len(want) {

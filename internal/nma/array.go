@@ -29,11 +29,12 @@ func NewArray(cfg Config, n int) *Array {
 	for i := 0; i < n; i++ {
 		sim := NewSim(cfg)
 		off := i * groups / n
-		// Advance the rank's window clock so its refresh counter leads
-		// by `off` groups.
-		for k := 0; k < off; k++ {
-			sim.StepWindow()
-		}
+		// Start the rank's window clock `off` windows ahead so its
+		// refresh counter leads by `off` groups. Setting the clock
+		// directly (rather than stepping `off` empty windows) keeps
+		// construction O(1) and leaves Stats/metrics untouched — the
+		// stagger is an initial condition, not simulated history.
+		sim.window = int64(off)
 		a.sims = append(a.sims, sim)
 		a.offset = append(a.offset, off)
 	}
@@ -60,12 +61,11 @@ func (a *Array) Submit(rank int, req Request) bool {
 	return a.sims[rank].Submit(req)
 }
 
-// AdvanceTo steps every rank's windows to time now.
+// AdvanceTo steps every rank's windows to time now, fast-forwarding
+// each rank through its idle stretches.
 func (a *Array) AdvanceTo(now dram.Ps) {
 	for _, s := range a.sims {
-		for s.Now() <= now {
-			s.StepWindow()
-		}
+		s.AdvanceTo(now)
 	}
 }
 

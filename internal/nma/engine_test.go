@@ -1,0 +1,293 @@
+package nma
+
+// Event-driven engine equivalence suite (DESIGN §6b): the idle
+// fast-forward must be invisible at every observable surface — Stats,
+// process-wide metrics, and flight-recorder dumps — across arbitrary
+// submit/advance interleavings, and the pooled-op free list must hold
+// Submit and advance at zero steady-state allocations.
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"xfm/internal/dram"
+	"xfm/internal/telemetry"
+)
+
+// engineRun drives one simulator through a deterministic random
+// interleaving of submit bursts, AdvanceTo jumps (short and long), and
+// single window steps, with the given fast-forward setting, and
+// returns every observable surface: Stats, a registry snapshot, and
+// the sim-time recording bytes.
+func engineRun(t *testing.T, seed int64, ff bool) (Stats, telemetry.Snapshot, []byte) {
+	t.Helper()
+	reg := telemetry.DefaultRegistry()
+	reg.ResetAll()
+	SetFastForward(ff)
+	defer SetFastForward(true)
+
+	smp := telemetry.NewSampler(reg, 1<<14)
+	smp.SetSimEvery(7) // off-power-of-two so samples straddle skip chunks
+	smp.Reset()
+	smp.SetEnabled(true)
+
+	c := cfg32()
+	c.QueueDepth = 64
+	s := NewSim(c)
+	s.SetSampler(smp)
+	trefi := c.Timings.TREFI
+
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 200; i++ {
+		switch rng.Intn(4) {
+		case 0: // submit burst near the sim's upcoming refresh groups
+			n := 1 + rng.Intn(8)
+			base := int(s.window % int64(s.groups))
+			for j := 0; j < n; j++ {
+				dst := rng.Intn(s.groups)
+				if rng.Intn(2) == 0 {
+					dst = -1
+				}
+				s.Submit(Request{
+					ID:       int64(i*100 + j),
+					Kind:     OpKind(rng.Intn(2)),
+					SrcGroup: (base + rng.Intn(32)) % s.groups,
+					DstGroup: dst,
+					Arrive:   s.Now() - trefi,
+				})
+			}
+		case 1: // short advance
+			s.AdvanceTo(s.Now() + dram.Ps(rng.Intn(16))*trefi)
+		case 2: // long idle jump (thousands of windows)
+			s.AdvanceTo(s.Now() + dram.Ps(1024+rng.Intn(4096))*trefi)
+		case 3: // single steps
+			for j := rng.Intn(5); j > 0; j-- {
+				s.StepWindow()
+			}
+		}
+	}
+	// Drain: two retention walks complete everything still in flight.
+	s.AdvanceTo(s.Now() + 2*c.Timings.Retention)
+
+	var buf bytes.Buffer
+	if err := smp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return s.Stats(), reg.Snapshot(), buf.Bytes()
+}
+
+// TestFastForwardEquivalence is the tentpole property test: N
+// fast-forwarded windows are bit-identical to N stepped windows at
+// every observable surface, across random interleavings.
+func TestFastForwardEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		stStep, snapStep, dumpStep := engineRun(t, seed, false)
+		stFF, snapFF, dumpFF := engineRun(t, seed, true)
+		if stStep != stFF {
+			t.Fatalf("seed %d: Stats diverge:\nstepped: %+v\nfastfwd: %+v", seed, stStep, stFF)
+		}
+		if !reflect.DeepEqual(snapStep, snapFF) {
+			t.Fatalf("seed %d: metric snapshots diverge:\nstepped: %+v\nfastfwd: %+v", seed, snapStep, snapFF)
+		}
+		if !bytes.Equal(dumpStep, dumpFF) {
+			a, err := telemetry.ReadDump(bytes.NewReader(dumpStep))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := telemetry.ReadDump(bytes.NewReader(dumpFF))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range telemetry.DiffDumps(a, b) {
+				t.Errorf("seed %d: %s", seed, d)
+			}
+			t.Fatalf("seed %d: recordings diverge", seed)
+		}
+	}
+}
+
+// TestRunWindowsFastForwardEquivalence replays the same arrival stream
+// through RunWindows with fast-forward on and off: identical stats and
+// identical window counts (n windows exactly).
+func TestRunWindowsFastForwardEquivalence(t *testing.T) {
+	run := func(ff bool) Stats {
+		SetFastForward(ff)
+		defer SetFastForward(true)
+		c := cfg32()
+		s := NewSim(c)
+		s.SetSampler(nil)
+		trefi := c.Timings.TREFI
+		rng := rand.New(rand.NewSource(3))
+		var at dram.Ps
+		i := 0
+		next := func() (Request, bool) {
+			if i >= 300 {
+				return Request{}, false
+			}
+			// Sparse arrivals: bursts separated by long idle gaps.
+			if i%10 == 0 {
+				at += dram.Ps(500+rng.Intn(2000)) * trefi
+			} else {
+				at += dram.Ps(rng.Intn(3)) * trefi
+			}
+			i++
+			return Request{
+				ID:       int64(i),
+				Kind:     OpKind(rng.Intn(2)),
+				SrcGroup: rng.Intn(8192),
+				DstGroup: -1,
+				Arrive:   at,
+			}, true
+		}
+		s.RunWindows(120_000, next)
+		return s.Stats()
+	}
+	stepped := run(false)
+	fast := run(true)
+	if stepped != fast {
+		t.Fatalf("RunWindows diverges:\nstepped: %+v\nfastfwd: %+v", stepped, fast)
+	}
+	if fast.Windows != 120_000 {
+		t.Fatalf("Windows = %d, want 120000", fast.Windows)
+	}
+}
+
+// TestPendingOnlySkip pins the pending-only fast path: with engine
+// runs in flight and nothing queued or completed, the skip must stop
+// at the earliest doneAt window, not fly past it.
+func TestPendingOnlySkip(t *testing.T) {
+	c := cfg32()
+	s := NewSim(c)
+	s.SetSampler(nil)
+	// Source at group 0, flexible destination: window 0 reads, the
+	// engine finishes during window 1, window 1 writes back.
+	s.Submit(Request{ID: 1, Kind: CompressOp, SrcGroup: 0, DstGroup: -1})
+	s.StepWindow()
+	if len(s.pending) != 1 || s.queuedCount != 0 || s.completedCount != 0 {
+		t.Fatalf("setup: pending=%d queued=%d completed=%d", len(s.pending), s.queuedCount, s.completedCount)
+	}
+	s.AdvanceTo(s.Now() + 10_000*c.Timings.TREFI)
+	st := s.Stats()
+	if st.Completed != 1 || st.WriteCond != 1 {
+		t.Fatalf("pending op not completed across skip: %+v", st)
+	}
+	// One stepped window plus the 10001 windows whose execution time
+	// falls inside the AdvanceTo horizon.
+	if st.Windows != 10_002 {
+		t.Fatalf("Windows = %d, want 10002", st.Windows)
+	}
+	// Exactly two windows did work (the read and the write-back).
+	if st.BusyWindows != 2 {
+		t.Fatalf("BusyWindows = %d, want 2", st.BusyWindows)
+	}
+}
+
+// TestSteadyStateZeroAllocs is the pooled-op regression gate: once the
+// free list and container arrays are warm, a Submit + AdvanceTo cycle
+// allocates nothing.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	c := cfg32()
+	s := NewSim(c)
+	s.SetSampler(nil)
+	s.SetTracer(nil)
+	trefi := c.Timings.TREFI
+	cycle := func() {
+		g := int(s.window % int64(s.groups))
+		s.Submit(Request{Kind: CompressOp, SrcGroup: g, DstGroup: -1, Arrive: s.Now() - trefi})
+		s.AdvanceTo(s.Now() + 4*trefi)
+	}
+	// Warm until every group bucket has backing capacity: each cycle
+	// advances 5 windows (gcd(5, 8192) = 1), so 8192 cycles touch every
+	// group at least once; run two laps for margin.
+	for i := 0; i < 2*8192; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(1000, cycle); allocs != 0 {
+		t.Fatalf("steady-state Submit+AdvanceTo allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestOpPoolRecycling checks the generation-stamp reclaim: structs
+// recycle through the free list, and stale references left in lazy
+// buckets never resurrect a previous incarnation.
+func TestOpPoolRecycling(t *testing.T) {
+	c := cfg32()
+	c.QueueDepth = 8
+	s := NewSim(c)
+	s.SetSampler(nil)
+	for round := 0; round < 50; round++ {
+		g := int(s.window % int64(s.groups))
+		// Same source group twice: the random path may serve one of
+		// them, leaving a tombstone in the group bucket.
+		s.Submit(Request{ID: int64(2 * round), Kind: CompressOp, SrcGroup: g, DstGroup: -1})
+		s.Submit(Request{ID: int64(2*round + 1), Kind: DecompressOp, SrcGroup: g, DstGroup: -1})
+		s.AdvanceTo(s.Now() + 6*c.Timings.TREFI)
+	}
+	s.AdvanceTo(s.Now() + 2*c.Timings.Retention)
+	st := s.Stats()
+	if st.Completed != st.Submitted-st.Fallbacks {
+		t.Fatalf("conservation broken across recycling: %+v", st)
+	}
+	if len(s.free) == 0 {
+		t.Fatal("free list never populated")
+	}
+	// The pool should be bounded by peak in-flight ops, far below the
+	// 100 submissions.
+	if got := len(s.free); got > 20 {
+		t.Errorf("pool grew to %d structs for ≤16 in-flight ops", got)
+	}
+}
+
+// TestRecycledOpsRace runs independent sims concurrently (sharing the
+// process-wide metrics, as ranks in different goroutines would) so the
+// race detector sweeps the recycled-op path and the bulk metric adds.
+func TestRecycledOpsRace(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c := cfg32()
+			c.QueueDepth = 32
+			s := NewSim(c)
+			s.SetSampler(nil)
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				g := int(s.window % int64(s.groups))
+				s.Submit(Request{
+					ID:       int64(i),
+					Kind:     OpKind(rng.Intn(2)),
+					SrcGroup: (g + rng.Intn(8)) % s.groups,
+					DstGroup: -1,
+					Arrive:   s.Now(),
+				})
+				s.AdvanceTo(s.Now() + dram.Ps(1+rng.Intn(64))*c.Timings.TREFI)
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+}
+
+// BenchmarkAdvanceIdle measures the event-driven engine's idle
+// throughput: a 4-rank array fast-forwarding a 4096-window horizon per
+// iteration. The stepped equivalent costs ~4096×4 StepWindow calls.
+func BenchmarkAdvanceIdle(b *testing.B) {
+	c := cfg32()
+	a := NewArray(c, 4)
+	now := a.Rank(0).Now()
+	step := 4096 * c.Timings.TREFI
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += step
+		a.AdvanceTo(now)
+	}
+}

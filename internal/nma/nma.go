@@ -15,10 +15,17 @@
 // written back to DRAM in a subsequent window (Fig. 10). When the SPM
 // or the Compress_Request_Queue fills, back-pressure reaches the
 // XFM driver, which falls back to the CPU (§6).
+//
+// The simulator is event-driven (DESIGN §6b): windows in which the
+// NMA provably performs no access are fast-forwarded in O(1) instead
+// of stepped one tREFI at a time, with bulk counter updates chunked so
+// Stats, telemetry, and flight-recorder samples stay bit-identical to
+// a stepped run.
 package nma
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"xfm/internal/dram"
 	"xfm/internal/telemetry"
@@ -122,6 +129,20 @@ func (c Config) Validate() error {
 	return c.Device.Validate()
 }
 
+// fastForwardEnabled gates the idle fast-forward globally. It exists
+// so the equivalence of the event-driven engine to brute window
+// stepping can be *demonstrated*, not just trusted: `xfmbench
+// -nma-stepped` records a run with it off and `telemetryck -diff`
+// proves the recording bit-identical to a fast-forwarded one.
+var fastForwardDisabled atomic.Bool
+
+// SetFastForward enables (the default) or disables the idle
+// fast-forward for every Sim in the process. With it off the engine
+// steps each refresh window individually, reproducing the pre-
+// event-driven behavior exactly; observable results are identical
+// either way, only the wall-clock cost differs.
+func SetFastForward(on bool) { fastForwardDisabled.Store(!on) }
+
 // opState tracks one in-flight operation inside the NMA.
 type opState int
 
@@ -133,14 +154,63 @@ const (
 )
 
 type op struct {
-	req       Request
-	state     opState
+	req   Request
+	state opState
+	// gen is the op's incarnation, bumped when the op is recycled into
+	// the free list. References left behind in lazily-compacted FIFOs
+	// and buckets carry the gen at insertion time; a mismatch marks the
+	// reference stale even after the struct is reused for a new request.
+	gen       uint64
 	readAt    dram.Ps // when the page was read into the SPM
 	doneAt    dram.Ps // when the engine finishes
 	wroteAt   dram.Ps
 	spmBytes  int // SPM bytes charged while resident
 	readRand  bool
 	writeRand bool
+}
+
+// opRef is one container entry: the op plus the incarnation it had
+// when inserted. live() distinguishes a current reference from a
+// tombstone left by a lazy removal or a recycled struct.
+type opRef struct {
+	o   *op
+	gen uint64
+}
+
+func (r opRef) live(want opState) bool {
+	return r.gen == r.o.gen && r.o.state == want
+}
+
+// refFIFO is a head-indexed FIFO of op references. Pops advance the
+// head instead of re-slicing so the backing array keeps its capacity;
+// once the dead prefix dominates, the live tail is copied down in
+// place. Steady-state pushes are therefore allocation-free — the
+// structure behind both the request queue and every group bucket.
+type refFIFO struct {
+	refs []opRef
+	head int
+}
+
+func (f *refFIFO) push(r opRef) { f.refs = append(f.refs, r) }
+
+func (f *refFIFO) empty() bool { return f.head >= len(f.refs) }
+
+func (f *refFIFO) peek() opRef { return f.refs[f.head] }
+
+// pop drops the head entry and compacts the dead prefix when it is
+// both large and the majority of the slice (amortized O(1), in place).
+func (f *refFIFO) pop() {
+	f.head++
+	if f.head >= len(f.refs) {
+		f.refs = f.refs[:0]
+		f.head = 0
+		return
+	}
+	if f.head > 64 && f.head > len(f.refs)/2 {
+		n := copy(f.refs, f.refs[f.head:])
+		f.refs = f.refs[:n]
+		f.head = 0
+	}
 }
 
 // Stats aggregates simulation results; it maps to Fig. 12's panels.
@@ -218,25 +288,39 @@ func (s Stats) MeanLatencyMs() float64 {
 //
 // Internally the queue and the completed set are indexed by refresh
 // group so each window's conditional matching costs O(budget), not
-// O(queue): the Fig. 12 sensitivity sweeps run tens of thousands of
-// windows per configuration.
+// O(queue), and the group index is a flat slice (one bucket per
+// refresh group) so the hot loop performs no map hashing. Windows in
+// which no op is queued, completing, or awaiting write-back are
+// fast-forwarded in bulk — the Fig. 12 sensitivity sweeps run tens of
+// thousands of windows per configuration, most of them idle.
 type Sim struct {
 	cfg    Config
 	groups int
+	// slotsPerWin and bulkAdvance are fixed at construction so the
+	// idle fast-forward performs no per-call closure allocation.
+	slotsPerWin int64
+	bulkAdvance func(k int64)
 
-	window  int64 // next window index
-	queued  []*op // Compress_Request_Queue FIFO (reads not yet done)
+	window  int64   // next window index
+	queued  refFIFO // Compress_Request_Queue FIFO (reads not yet done)
 	spmUsed int
 
 	// queuedByGroup buckets queued ops by SrcGroup; completedByGroup
-	// buckets COMPLETED ops by DstGroup (key -1 holds flexible
-	// destinations). Entries are removed lazily: an op may linger in a
-	// bucket or FIFO after being served and is skipped on pop.
-	queuedByGroup    map[int][]*op
-	completedByGroup map[int][]*op
-	completedFIFO    []*op
+	// buckets COMPLETED ops by DstGroup (the extra trailing bucket
+	// holds flexible destinations, key -1). Entries are removed
+	// lazily: an op may linger in a bucket or FIFO after being served
+	// and is skipped on pop via its generation stamp.
+	queuedByGroup    []refFIFO
+	completedByGroup []refFIFO
+	completedFIFO    refFIFO
 	pending          []*op // PENDING ops awaiting engine completion
 	queuedCount      int   // live (unserved) queue entries
+	completedCount   int   // live COMPLETED ops awaiting write-back
+
+	// free recycles op structs once they are written back: every
+	// container reference is tombstoned by the generation bump, so the
+	// struct can back a future Submit without allocation.
+	free []*op
 
 	stats Stats
 
@@ -251,7 +335,9 @@ type Sim struct {
 	// Flight recorder (off unless the sampler is enabled): StepWindow
 	// ticks the simulated-time clock domain so every Nth refresh window
 	// snapshots the registry into time series. The disabled fast path
-	// is one atomic load.
+	// is one atomic load; fast-forwarded ranges tick in bulk through
+	// Sampler.SimTickRange, which lands samples on exactly the same
+	// timestamps with exactly the same counter values.
 	sampler *telemetry.Sampler
 }
 
@@ -269,15 +355,19 @@ func NewSim(cfg Config) *Sim {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Sim{
+	groups := cfg.Device.RefreshGroups()
+	s := &Sim{
 		cfg:              cfg,
-		groups:           cfg.Device.RefreshGroups(),
-		queuedByGroup:    map[int][]*op{},
-		completedByGroup: map[int][]*op{},
+		groups:           groups,
+		slotsPerWin:      int64(cfg.AccessesPerTRFC + cfg.RandomPerTRFC),
+		queuedByGroup:    make([]refFIFO, groups),
+		completedByGroup: make([]refFIFO, groups+1),
 		tracer:           telemetry.DefaultTracer(),
 		track:            -1,
 		sampler:          telemetry.DefaultSampler(),
 	}
+	s.bulkAdvance = s.advanceIdle
+	return s
 }
 
 // SetTracer redirects span output to tr (nil disables tracing for this
@@ -310,11 +400,35 @@ func (s *Sim) SPMUsed() int { return s.spmUsed }
 // QueueLen returns the current Compress_Request_Queue depth.
 func (s *Sim) QueueLen() int { return s.queuedCount }
 
+// completedBucket maps a destination group key to its bucket index
+// (key -1, a flexible destination, lives in the trailing bucket).
+func (s *Sim) completedBucket(key int) *refFIFO {
+	if key < 0 {
+		return &s.completedByGroup[s.groups]
+	}
+	return &s.completedByGroup[key]
+}
+
+// newOp takes an op from the free list (or allocates the pool's next
+// struct) and initializes it for req. The recycled struct keeps its
+// bumped generation so references from its previous life stay stale.
+func (s *Sim) newOp(req Request) *op {
+	if n := len(s.free); n > 0 {
+		o := s.free[n-1]
+		s.free = s.free[:n-1]
+		*o = op{gen: o.gen, req: req}
+		return o
+	}
+	return &op{req: req}
+}
+
 // Submit offers a request to the NMA. It returns false when the
 // request was rejected and the driver must fall back to the CPU.
 // Back-pressure propagates exactly as §6 describes: a full SPM stalls
 // reads, stalled reads fill the Compress_Request_Queue, and a full
-// queue triggers CPU_Fallback.
+// queue triggers CPU_Fallback. Steady-state Submit performs no heap
+// allocation: op structs recycle through the free list and every
+// container reuses its backing array.
 func (s *Sim) Submit(req Request) bool {
 	s.stats.Submitted++
 	mSubmitted.Inc()
@@ -326,10 +440,11 @@ func (s *Sim) Submit(req Request) bool {
 		mRejected.Inc()
 		return false
 	}
-	o := &op{req: req, state: opQueued}
-	s.queued = append(s.queued, o)
+	o := s.newOp(req)
+	r := opRef{o: o, gen: o.gen}
+	s.queued.push(r)
 	s.queuedCount++
-	s.queuedByGroup[req.SrcGroup] = append(s.queuedByGroup[req.SrcGroup], o)
+	s.queuedByGroup[req.SrcGroup].push(r)
 	return true
 }
 
@@ -371,9 +486,10 @@ func (s *Sim) StepWindow() int {
 	for _, o := range s.pending {
 		if o.state == opPending && o.doneAt <= now {
 			o.state = opCompleted
-			key := o.req.DstGroup // -1 bucket holds flexible destinations
-			s.completedByGroup[key] = append(s.completedByGroup[key], o)
-			s.completedFIFO = append(s.completedFIFO, o)
+			s.completedCount++
+			r := opRef{o: o, gen: o.gen}
+			s.completedBucket(o.req.DstGroup).push(r) // -1 bucket holds flexible destinations
+			s.completedFIFO.push(r)
 		} else {
 			keep = append(keep, o)
 		}
@@ -476,6 +592,89 @@ func (s *Sim) StepWindow() int {
 	return group
 }
 
+// idleSkip bulk-advances up to max windows during which the simulator
+// provably performs no access: nothing queued, nothing awaiting
+// write-back, and every pending op's engine completion lands after the
+// last skipped window. It returns the number of windows skipped (0
+// when the next window might do work, or when fast-forward is off).
+// The skipped range is observably identical to stepping each window:
+// the same counters advance by the same totals, gauges publish the
+// same values, and sampler ticks land on the same timestamps.
+func (s *Sim) idleSkip(max int64) int64 {
+	if max <= 0 || s.queuedCount > 0 || s.completedCount > 0 || fastForwardDisabled.Load() {
+		return 0
+	}
+	if len(s.pending) > 0 {
+		// Only engine runs are in flight: every window before the
+		// earliest doneAt performs nothing (phase A/B have no
+		// COMPLETED/queued ops; phase C's pressure and age rescues
+		// only consider those same sets). The completing window itself
+		// must be stepped.
+		minDone := s.pending[0].doneAt
+		for _, o := range s.pending[1:] {
+			if o.doneAt < minDone {
+				minDone = o.doneAt
+			}
+		}
+		trefi := s.cfg.Timings.TREFI
+		skippable := (minDone+trefi-1)/trefi - s.window - 1
+		if skippable < max {
+			max = skippable
+		}
+	}
+	if max <= 0 {
+		return 0
+	}
+	s.skipWindows(max)
+	return max
+}
+
+// skipWindows advances n provably-idle windows in O(1): window clock,
+// Stats.Windows, and the per-window counters move in bulk, with the
+// counter adds chunked by Sampler.SimTickRange so every flight-
+// recorder sample in the range reads exactly the registry state a
+// stepped run would have produced at that timestamp.
+func (s *Sim) skipWindows(n int64) {
+	start := s.Now()
+	// Stepped windows publish these gauges every tREFI; across an idle
+	// range the values are constant, so one store reproduces every
+	// sample a stepped run would record.
+	gQueueDepth.SetInt(int64(s.queuedCount))
+	gSPMUsed.SetInt(int64(s.spmUsed))
+	if s.sampler != nil {
+		s.sampler.SimTickRange(int64(start), int64(s.cfg.Timings.TREFI), n, s.bulkAdvance)
+	} else {
+		s.bulkAdvance(n)
+	}
+}
+
+// advanceIdle applies k idle windows' worth of bulk updates: the same
+// counters a stepped idle window bumps, coalesced. Bound once as
+// s.bulkAdvance so fast-forwarding allocates nothing per call.
+func (s *Sim) advanceIdle(k int64) {
+	if k <= 0 {
+		return
+	}
+	mWindows.Add(k)
+	mSlotsOffered.Add(k * s.slotsPerWin)
+	s.stats.Windows += k
+	s.window += k
+}
+
+// AdvanceTo steps refresh windows until the window clock passes now,
+// fast-forwarding through idle stretches. Equivalent to calling
+// StepWindow while Now() <= now.
+func (s *Sim) AdvanceTo(now dram.Ps) {
+	trefi := s.cfg.Timings.TREFI
+	for s.Now() <= now {
+		// Number of windows whose execution time is still <= now.
+		if s.idleSkip(now/trefi-s.window) > 0 {
+			continue
+		}
+		s.StepWindow()
+	}
+}
+
 // emitWindowSpans records the window that just executed as a
 // "refresh-window" span and tiles the accesses it performed across the
 // tRFC as nested compress/decompress spans, so the Chrome trace shows
@@ -509,20 +708,16 @@ func (s *Sim) emitWindowSpans(group int, start dram.Ps) {
 }
 
 // popCompletedGroup removes and returns the oldest COMPLETED op whose
-// destination bucket is key, skipping tombstones left by random
-// write-backs.
+// destination bucket is key, dropping tombstones left by random
+// write-backs and recycled incarnations.
 func (s *Sim) popCompletedGroup(key int) *op {
-	bucket := s.completedByGroup[key]
-	for len(bucket) > 0 {
-		o := bucket[0]
-		bucket = bucket[1:]
-		if o.state == opCompleted {
-			s.completedByGroup[key] = bucket
-			return o
+	b := s.completedBucket(key)
+	for !b.empty() {
+		r := b.peek()
+		b.pop()
+		if r.live(opCompleted) {
+			return r.o
 		}
-	}
-	if len(bucket) == 0 {
-		delete(s.completedByGroup, key)
 	}
 	return nil
 }
@@ -530,33 +725,33 @@ func (s *Sim) popCompletedGroup(key int) *op {
 // peekQueuedGroup returns (without removing) the oldest queued op with
 // the given source group, compacting tombstones.
 func (s *Sim) peekQueuedGroup(group int) *op {
-	bucket := s.queuedByGroup[group]
-	for len(bucket) > 0 {
-		if bucket[0].state == opQueued {
-			s.queuedByGroup[group] = bucket
-			return bucket[0]
+	b := &s.queuedByGroup[group]
+	for !b.empty() {
+		r := b.peek()
+		if r.live(opQueued) {
+			return r.o
 		}
-		bucket = bucket[1:]
+		b.pop()
 	}
-	delete(s.queuedByGroup, group)
 	return nil
 }
 
 func (s *Sim) popQueuedGroup(group int) {
-	bucket := s.queuedByGroup[group]
-	if len(bucket) > 0 {
-		s.queuedByGroup[group] = bucket[1:]
+	b := &s.queuedByGroup[group]
+	if !b.empty() {
+		b.pop()
 	}
 }
 
 // oldestQueued returns the longest-waiting queued op, trimming served
 // entries off the FIFO head.
 func (s *Sim) oldestQueued() *op {
-	for len(s.queued) > 0 {
-		if s.queued[0].state == opQueued {
-			return s.queued[0]
+	for !s.queued.empty() {
+		r := s.queued.peek()
+		if r.live(opQueued) {
+			return r.o
 		}
-		s.queued = s.queued[1:]
+		s.queued.pop()
 	}
 	return nil
 }
@@ -564,11 +759,12 @@ func (s *Sim) oldestQueued() *op {
 // oldestCompleted returns the longest-completed op awaiting
 // write-back, trimming the FIFO head.
 func (s *Sim) oldestCompleted() *op {
-	for len(s.completedFIFO) > 0 {
-		if s.completedFIFO[0].state == opCompleted {
-			return s.completedFIFO[0]
+	for !s.completedFIFO.empty() {
+		r := s.completedFIFO.peek()
+		if r.live(opCompleted) {
+			return r.o
 		}
-		s.completedFIFO = s.completedFIFO[1:]
+		s.completedFIFO.pop()
 	}
 	return nil
 }
@@ -599,11 +795,16 @@ func (s *Sim) startRead(o *op, now dram.Ps, random bool) {
 	}
 }
 
-// writeBack finishes an op: its output leaves the SPM.
+// writeBack finishes an op: its output leaves the SPM and the struct
+// returns to the free list. The generation bump tombstones every
+// reference still sitting in a lazily-compacted FIFO or bucket; the
+// struct itself is not reused before the next Submit, so same-window
+// readers (span emission) still see its request fields.
 func (s *Sim) writeBack(o *op, now dram.Ps, random bool) {
 	o.state = opDone
 	o.wroteAt = now
 	s.spmUsed -= o.spmBytes
+	s.completedCount--
 	s.countAccess(random)
 	if random {
 		s.stats.WriteRand++
@@ -622,6 +823,8 @@ func (s *Sim) writeBack(o *op, now dram.Ps, random bool) {
 	if s.traceOn {
 		s.winAcc = append(s.winAcc, windowAccess{o: o, random: random, write: true})
 	}
+	o.gen++
+	s.free = append(s.free, o)
 }
 
 func (s *Sim) countAccess(random bool) {
@@ -635,16 +838,21 @@ func (s *Sim) countAccess(random bool) {
 // RunWindows steps n windows, pulling arrivals from next, which must
 // return requests in nondecreasing Arrive order and ok=false when the
 // stream ends. Arrivals due before each window's start are submitted
-// before the window executes.
+// before the window executes. Idle stretches between arrivals are
+// fast-forwarded.
 func (s *Sim) RunWindows(n int, next func() (Request, bool)) {
 	pendingValid := false
+	exhausted := false
 	var pending Request
-	for i := 0; i < n; i++ {
+	trefi := s.cfg.Timings.TREFI
+	remaining := int64(n)
+	for remaining > 0 {
 		windowStart := s.Now()
-		for {
+		for !exhausted {
 			if !pendingValid {
 				r, ok := next()
 				if !ok {
+					exhausted = true
 					break
 				}
 				pending = r
@@ -656,6 +864,21 @@ func (s *Sim) RunWindows(n int, next func() (Request, bool)) {
 			s.Submit(pending)
 			pendingValid = false
 		}
+		max := remaining
+		if pendingValid {
+			// Windows executing before the next arrival see no
+			// submissions; the arrival's own window must be stepped
+			// through the submit loop above.
+			untilArrival := (int64(pending.Arrive)+trefi-1)/trefi - s.window - 1
+			if untilArrival < max {
+				max = untilArrival
+			}
+		}
+		if skipped := s.idleSkip(max); skipped > 0 {
+			remaining -= skipped
+			continue
+		}
 		s.StepWindow()
+		remaining--
 	}
 }

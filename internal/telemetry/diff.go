@@ -1,0 +1,120 @@
+package telemetry
+
+import "fmt"
+
+// Cross-run recording diff: sim-time recordings are bit-deterministic,
+// so any behavioral divergence between two runs of the same workload —
+// a regression, a nondeterministic code path, a fast-forward bug —
+// shows up as a first divergent window in some series. DiffDumps turns
+// "the recordings differ" into "series X diverges at t=...", which is
+// a pinpointed simulated timestamp instead of a byte offset.
+
+// SeriesDiff describes the first divergence found in one series (or a
+// structural mismatch between the dumps when Series is empty). T is
+// the timestamp of the first divergent point, or -1 for structural
+// findings with no single timestamp.
+type SeriesDiff struct {
+	Series string
+	T      int64
+	Reason string
+}
+
+func (d SeriesDiff) String() string {
+	if d.Series == "" {
+		return d.Reason
+	}
+	if d.T < 0 {
+		return fmt.Sprintf("%s: %s", d.Series, d.Reason)
+	}
+	return fmt.Sprintf("%s: first divergence at t=%d: %s", d.Series, d.T, d.Reason)
+}
+
+// DiffDumps compares two recordings and returns one entry per
+// divergent series (the first divergent point of each), plus
+// structural mismatches (clock domain, sampling period, sample count,
+// series present on only one side). A nil/empty result means the dumps
+// are identical at every recorded window. Values are compared exactly
+// — the recordings' determinism contract is bit-identity, so any
+// difference, however small, is a finding.
+func DiffDumps(a, b *Dump) []SeriesDiff {
+	var out []SeriesDiff
+	structural := func(format string, args ...any) {
+		out = append(out, SeriesDiff{T: -1, Reason: fmt.Sprintf(format, args...)})
+	}
+	if a.Schema != b.Schema {
+		structural("schema differs: %d vs %d", a.Schema, b.Schema)
+	}
+	if a.Clock != b.Clock {
+		structural("clock domain differs: %s vs %s", a.Clock, b.Clock)
+	}
+	if a.SimEvery != b.SimEvery {
+		structural("sampling period differs: every %d vs %d windows", a.SimEvery, b.SimEvery)
+	}
+	if a.Samples != b.Samples {
+		structural("sample count differs: %d vs %d", a.Samples, b.Samples)
+	}
+	if a.Ticks != b.Ticks {
+		structural("tick count differs: %d vs %d", a.Ticks, b.Ticks)
+	}
+
+	bByName := make(map[string]SeriesDump, len(b.Series))
+	for _, s := range b.Series {
+		bByName[s.Name] = s
+	}
+	seen := make(map[string]bool, len(a.Series))
+	for _, sa := range a.Series {
+		seen[sa.Name] = true
+		sb, ok := bByName[sa.Name]
+		if !ok {
+			out = append(out, SeriesDiff{Series: sa.Name, T: -1, Reason: "missing from second dump"})
+			continue
+		}
+		if d, found := diffSeries(sa, sb); found {
+			out = append(out, d)
+		}
+	}
+	for _, sb := range b.Series {
+		if !seen[sb.Name] {
+			out = append(out, SeriesDiff{Series: sb.Name, T: -1, Reason: "missing from first dump"})
+		}
+	}
+	return out
+}
+
+// diffSeries returns the first divergent point of one series pair.
+func diffSeries(a, b SeriesDump) (SeriesDiff, bool) {
+	if a.Kind != b.Kind {
+		return SeriesDiff{Series: a.Name, T: -1,
+			Reason: fmt.Sprintf("kind differs: %s vs %s", a.Kind, b.Kind)}, true
+	}
+	n := len(a.Points)
+	if len(b.Points) < n {
+		n = len(b.Points)
+	}
+	for i := 0; i < n; i++ {
+		pa, pb := a.Points[i], b.Points[i]
+		if pa.T != pb.T {
+			return SeriesDiff{Series: a.Name, T: pa.T,
+				Reason: fmt.Sprintf("point %d timestamp differs: %d vs %d", i, pa.T, pb.T)}, true
+		}
+		// Exact comparison, NaN-aware: two NaNs are "equal" for the
+		// purpose of bit-identity (they serialize identically).
+		if pa.V != pb.V && !(pa.V != pa.V && pb.V != pb.V) {
+			return SeriesDiff{Series: a.Name, T: pa.T,
+				Reason: fmt.Sprintf("value differs: %v vs %v", pa.V, pb.V)}, true
+		}
+	}
+	if len(a.Points) != len(b.Points) {
+		t := int64(-1)
+		longer := a.Points
+		if len(b.Points) > len(a.Points) {
+			longer = b.Points
+		}
+		if n < len(longer) {
+			t = longer[n].T
+		}
+		return SeriesDiff{Series: a.Name, T: t,
+			Reason: fmt.Sprintf("point count differs: %d vs %d", len(a.Points), len(b.Points))}, true
+	}
+	return SeriesDiff{}, false
+}

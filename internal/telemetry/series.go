@@ -221,6 +221,59 @@ func (s *Sampler) SimTick(nowPs int64) {
 	s.mu.Unlock()
 }
 
+// SimTickRange advances the simulated-time clock by n ticks at once:
+// the first tick lands at startPs and each subsequent tick stepPs
+// later, exactly as n sequential SimTick calls would. It exists for
+// the NMA engine's idle fast-forward, which must publish bulk counter
+// updates without desynchronizing the recorded series: advance(k) is
+// invoked with a not-yet-accounted tick count immediately before each
+// sample the range triggers (and once with the remainder at the end),
+// so the caller lands its coalesced metric adds in sample-aligned
+// chunks and every sample reads exactly the registry state a stepped
+// run would have produced. advance is always called with chunk counts
+// summing to n, even when the recorder is disabled.
+func (s *Sampler) SimTickRange(startPs, stepPs, n int64, advance func(k int64)) {
+	if n <= 0 {
+		return
+	}
+	if advance == nil {
+		advance = func(int64) {}
+	}
+	// Disabled recorders do not count ticks (SimTick returns before its
+	// ticks.Add), and neither does a sampler with sim-domain sampling
+	// off; mirror both fast paths.
+	if !s.enabled.Load() {
+		advance(n)
+		return
+	}
+	every := s.simEvery.Load()
+	if every <= 0 {
+		advance(n)
+		return
+	}
+	done := int64(0)
+	for done < n {
+		t := s.ticks.Load()
+		rem := every - t%every // ticks until the next sample fires
+		if rem > n-done {
+			k := n - done
+			advance(k)
+			s.ticks.Add(k)
+			return
+		}
+		advance(rem)
+		s.ticks.Add(rem)
+		done += rem
+		s.mu.Lock()
+		if !s.wall {
+			// The sample lands on the rem-th skipped window, whose
+			// execution time is its position in the range.
+			s.sampleLocked(startPs + (done-1)*stepPs)
+		}
+		s.mu.Unlock()
+	}
+}
+
 // Sample takes one sample at timestamp t (simulated picoseconds or
 // wall nanoseconds, depending on the clock domain). Non-monotonic
 // timestamps are dropped.

@@ -109,11 +109,9 @@ func (d *Driver) Submit(req nma.Request) (bool, error) {
 
 // AdvanceTo steps the NMA's refresh windows until the window clock
 // passes now; the emulator harness calls this as simulated time
-// advances.
+// advances. Idle stretches fast-forward in O(1).
 func (d *Driver) AdvanceTo(now dram.Ps) {
-	for d.sim.Now() <= now {
-		d.sim.StepWindow()
-	}
+	d.sim.AdvanceTo(now)
 }
 
 // NMAStats returns the underlying accelerator statistics.

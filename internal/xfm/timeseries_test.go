@@ -91,3 +91,30 @@ func TestTimeseriesBitDeterministic(t *testing.T) {
 		t.Fatal("time-series artifact differs between workers=1 and workers=4")
 	}
 }
+
+// TestTimeseriesFastForwardInvariant extends the determinism contract
+// across the NMA engine's idle fast-forward: the same workload
+// recorded with every refresh window stepped must produce the same
+// bytes as the fast-forwarded default (DESIGN §6b). CI proves the
+// same property on the full emulator via `telemetryck -diff`.
+func TestTimeseriesFastForwardInvariant(t *testing.T) {
+	fast := recordTimeseries(t, 1)
+	nma.SetFastForward(false)
+	defer nma.SetFastForward(true)
+	stepped := recordTimeseries(t, 1)
+	if bytes.Equal(fast, stepped) {
+		return
+	}
+	a, err := telemetry.ReadDump(bytes.NewReader(fast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := telemetry.ReadDump(bytes.NewReader(stepped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range telemetry.DiffDumps(a, b) {
+		t.Errorf("diff: %s", d)
+	}
+	t.Fatal("fast-forwarded recording differs from stepped recording")
+}
