@@ -38,6 +38,29 @@ import (
 	"xfm/internal/telemetry"
 )
 
+// defaultRequiredMetrics and defaultRequiredSeries are the telemetry
+// contract between the benchmark binaries and CI: the metrics every
+// smoke run must expose with at least one sample, and the series every
+// flight recording must carry. They are the -require/-require-series
+// flag defaults, and xfmlint's telemetry-contract rule extracts them
+// from this file's AST to verify each name has a live registration —
+// a ghost requirement here fails the lint build, not the smoke run.
+var defaultRequiredMetrics = []string{
+	"sfm_swap_outs_total",
+	"xfm_offloads_total",
+	"nma_offload_latency_ps",
+	"nma_slot_utilization",
+	"xfm_fallback_rate",
+	"xfm_fallbacks_total",
+}
+
+var defaultRequiredSeries = []string{
+	"xfm_offloads_total",
+	"nma_windows_total",
+	"nma_slot_utilization",
+	"sfm_promotion_rate",
+}
+
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "telemetryck: "+format+"\n", args...)
 	os.Exit(1)
@@ -318,15 +341,21 @@ func checkDiff(arg string) {
 func main() {
 	metrics := flag.String("metrics", "", "Prometheus text metrics file to validate")
 	traceOut := flag.String("trace", "", "Chrome trace-event JSON file to validate")
-	require := flag.String("require", "", "comma-separated metric names that must be present")
+	require := flag.String("require", strings.Join(defaultRequiredMetrics, ","), "comma-separated metric names that must be present (\"none\" disables)")
 	requireNesting := flag.Bool("require-nesting", false, "require nma spans nested in refresh-window spans")
 	timeseries := flag.String("timeseries", "", "flight-recorder time-series dump to validate")
-	requireSeries := flag.String("require-series", "", "comma-separated series names that must be present in -timeseries")
+	requireSeries := flag.String("require-series", strings.Join(defaultRequiredSeries, ","), "comma-separated series names that must be present in -timeseries (\"none\" disables)")
 	diff := flag.String("diff", "", "compare two comma-separated time-series dumps and report each series' first divergent window")
 	flag.Parse()
 
 	if *metrics == "" && *traceOut == "" && *timeseries == "" && *diff == "" {
 		fail("nothing to check: pass -metrics, -trace, -timeseries, and/or -diff")
+	}
+	if *require == "none" {
+		*require = ""
+	}
+	if *requireSeries == "none" {
+		*requireSeries = ""
 	}
 	if *metrics != "" {
 		names := checkMetrics(*metrics)

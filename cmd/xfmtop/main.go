@@ -14,9 +14,11 @@
 // recorded dump (written by `xfmbench -timeseries-out`), evaluates the
 // default health rules locally, and renders the same view. -once
 // renders a single frame without ANSI control codes and exits — the CI
-// smoke mode. -health-exit makes -once exit 3 when the rendered
-// verdict is DEGRADED or CRITICAL, so scripts can gate on a run's
-// health, not just render it.
+// smoke mode. -health-exit exits 3 when the health verdict is DEGRADED
+// or CRITICAL: with -once that is the rendered frame's verdict, in
+// live mode the first such poll ends the session, so a script can
+// leave xfmtop watching a benchmark and fail the moment health
+// degrades.
 package main
 
 import (
@@ -159,7 +161,7 @@ func main() {
 	width := flag.Int("width", 60, "sparkline width in samples")
 	filter := flag.String("filter", "", "only show series whose name contains this substring")
 	once := flag.Bool("once", false, "render one frame without ANSI control codes and exit (CI mode)")
-	healthExit := flag.Bool("health-exit", false, "with -once, exit 3 when the health verdict is DEGRADED or CRITICAL")
+	healthExit := flag.Bool("health-exit", false, "exit 3 when the health verdict is DEGRADED or CRITICAL (first poll in live mode, the rendered frame with -once)")
 	flag.Parse()
 
 	if (*url == "") == (*file == "") {
@@ -218,7 +220,7 @@ func main() {
 	}
 
 	for {
-		out, _, err := frame()
+		out, h, err := frame()
 		// ANSI: home cursor, clear to end of screen (less flicker than
 		// a full clear).
 		fmt.Print("\x1b[H\x1b[2J\x1b[3J")
@@ -226,6 +228,14 @@ func main() {
 			fmt.Printf("xfmtop: %v (retrying every %v)\n", err, *refresh)
 		} else {
 			fmt.Print(out)
+		}
+		// Live watchdog mode: the first DEGRADED/CRITICAL poll ends the
+		// session with the same exit code -once uses, so a CI step can
+		// leave xfmtop watching a benchmark and fail the build the
+		// moment health degrades instead of inspecting one final frame.
+		if *healthExit && err == nil && h.Code != 0 {
+			fmt.Fprintf(os.Stderr, "xfmtop: health %s (-health-exit)\n", h.Status)
+			os.Exit(3)
 		}
 		time.Sleep(*refresh)
 	}

@@ -7,20 +7,24 @@ import (
 	"io"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // Rule names, used in diagnostics and //xfm:ignore directives.
 const (
-	RuleAtomicField  = "atomic-field"
-	RuleGuardedBy    = "guardedby"
-	RuleHotpathAlloc = "hotpath-alloc"
-	RuleDeterminism  = "sim-determinism"
-	RuleDirective    = "directive"
+	RuleAtomicField       = "atomic-field"
+	RuleGuardedBy         = "guardedby"
+	RuleHotpathAlloc      = "hotpath-alloc"
+	RuleDeterminism       = "sim-determinism"
+	RuleDirective         = "directive"
+	RuleLockOrder         = "lock-order"
+	RuleTelemetryContract = "telemetry-contract"
 )
 
 // KnownRules lists every rule an //xfm:ignore directive may name.
 var KnownRules = []string{
 	RuleAtomicField, RuleGuardedBy, RuleHotpathAlloc, RuleDeterminism, RuleDirective,
+	RuleLockOrder, RuleTelemetryContract,
 }
 
 func knownRule(name string) bool {
@@ -33,15 +37,18 @@ func knownRule(name string) bool {
 }
 
 // Diagnostic is one finding at a source position. File is relative to
-// the module root so output is stable across checkouts.
+// the module root so output is stable across checkouts. Interprocedural
+// findings carry a Witness: the full call or acquisition chain, one
+// rendered hop per line, proving how the violation is reached.
 type Diagnostic struct {
-	File           string `json:"file"`
-	Line           int    `json:"line"`
-	Col            int    `json:"col"`
-	Rule           string `json:"rule"`
-	Message        string `json:"message"`
-	Suppressed     bool   `json:"suppressed,omitempty"`
-	SuppressReason string `json:"suppress_reason,omitempty"`
+	File           string   `json:"file"`
+	Line           int      `json:"line"`
+	Col            int      `json:"col"`
+	Rule           string   `json:"rule"`
+	Message        string   `json:"message"`
+	Witness        []string `json:"witness,omitempty"`
+	Suppressed     bool     `json:"suppressed,omitempty"`
+	SuppressReason string   `json:"suppress_reason,omitempty"`
 }
 
 // String renders the go-vet-style "file:line:col: rule: message" form.
@@ -66,7 +73,36 @@ func DefaultRules() []Rule {
 		NewGuardedByRule(),
 		NewHotpathAllocRule(),
 		NewDeterminismRule(),
+		NewLockOrderRule(),
+		NewTelemetryContractRule(),
 	}
+}
+
+// SelectRules filters rules down to the comma-separated names in spec
+// (the CLI's -rules flag). An empty spec selects everything; an
+// unknown name is an error so a typo cannot silently skip a gate.
+func SelectRules(rules []Rule, spec string) ([]Rule, error) {
+	if spec == "" {
+		return rules, nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !knownRule(name) {
+			return nil, fmt.Errorf("unknown rule %q (known: %s)", name, strings.Join(KnownRules, ", "))
+		}
+		want[name] = true
+	}
+	var out []Rule
+	for _, r := range rules {
+		if want[r.Name()] {
+			out = append(out, r)
+		}
+	}
+	return out, nil
 }
 
 // suppression is one parsed //xfm:ignore directive. It covers
@@ -164,6 +200,17 @@ func Unsuppressed(diags []Diagnostic) []Diagnostic {
 func WriteText(w io.Writer, diags []Diagnostic) {
 	for _, d := range diags {
 		fmt.Fprintln(w, d.String())
+	}
+}
+
+// WriteTextWitness prints diagnostics in vet style with each witness
+// chain hop on its own indented line below its finding.
+func WriteTextWitness(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintln(w, d.String())
+		for _, hop := range d.Witness {
+			fmt.Fprintf(w, "\t%s\n", hop)
+		}
 	}
 }
 

@@ -15,13 +15,20 @@ func CLIMain(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	showSuppressed := fs.Bool("show-suppressed", false, "also print suppressed diagnostics (text mode)")
+	witness := fs.Bool("witness", false, "print each finding's witness chain, one indented hop per line (text mode)")
+	rulesSpec := fs.String("rules", "", "comma-separated rule names to run (default: all)")
 	dir := fs.String("C", ".", "directory to lint from (module root is found above it)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: xfmlint [-json] [-show-suppressed] [-C dir] [patterns...]\n")
+		fmt.Fprintf(stderr, "usage: xfmlint [-json] [-show-suppressed] [-witness] [-rules r1,r2] [-C dir] [patterns...]\n")
 		fmt.Fprintf(stderr, "default pattern is ./...; rules: %v\n", KnownRules)
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rules, err := SelectRules(DefaultRules(), *rulesSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "xfmlint: %v\n", err)
 		return 2
 	}
 	prog, err := NewContext().Load(*dir, fs.Args()...)
@@ -29,20 +36,25 @@ func CLIMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "xfmlint: %v\n", err)
 		return 2
 	}
-	diags := prog.Run(DefaultRules())
+	diags := prog.Run(rules)
 	active := Unsuppressed(diags)
 	if *jsonOut {
 		// JSON output carries every diagnostic, suppressed included,
-		// so the CI artifact is a full audit trail.
+		// and every witness chain, so the CI artifact is a full audit
+		// trail.
 		if err := WriteJSON(stdout, diags); err != nil {
 			fmt.Fprintf(stderr, "xfmlint: %v\n", err)
 			return 2
 		}
 	} else {
+		shown := active
 		if *showSuppressed {
-			WriteText(stdout, diags)
+			shown = diags
+		}
+		if *witness {
+			WriteTextWitness(stdout, shown)
 		} else {
-			WriteText(stdout, active)
+			WriteText(stdout, shown)
 		}
 	}
 	fmt.Fprintf(stderr, "xfmlint: %d packages, %d diagnostics (%d suppressed)\n",

@@ -10,6 +10,8 @@ import (
 //
 //	//xfm:ignore <rule> <reason...>   suppress <rule> on this line and the next
 //	//xfm:hotpath                     (on a func decl) forbid allocation-prone constructs
+//	//xfm:allocok <reason...>         (on a func decl) treat as allocation-free in the
+//	                                  transitive hotpath-alloc walk (pooled/warm paths)
 //	//xfm:guardedby <mu>              (on a struct field) field requires sibling mutex <mu>
 //
 // Malformed directives — unknown verbs, unknown rule names, a missing
@@ -79,12 +81,14 @@ func parseDirective(prog *Program, pkg *Package, c *ast.Comment, text string, at
 		parseIgnore(prog, c, args)
 	case "hotpath":
 		parseHotpath(prog, c, args, at)
+	case "allocok":
+		parseAllocOK(prog, c, args, at)
 	case "guardedby":
 		parseGuardedBy(prog, pkg, c, args, at)
 	default:
 		prog.directiveDiags = append(prog.directiveDiags,
 			prog.diag(c.Pos(), RuleDirective,
-				"unknown directive //xfm:%s (want ignore, hotpath, or guardedby)", verb))
+				"unknown directive //xfm:%s (want ignore, hotpath, allocok, or guardedby)", verb))
 	}
 }
 
@@ -128,6 +132,28 @@ func parseHotpath(prog *Program, c *ast.Comment, args []string, at attachment) {
 		return
 	}
 	prog.hotpath[at.fn] = true
+}
+
+// parseAllocOK handles //xfm:allocok <reason...>: the annotated
+// function is treated as allocation-free by the transitive
+// hotpath-alloc walk (neither its body nor its callees are followed).
+// The escape hatch exists for pooled and warm paths whose allocations
+// are provably cold — the reason is mandatory so every exemption
+// records why the static walk may stand down.
+func parseAllocOK(prog *Program, c *ast.Comment, args []string, at attachment) {
+	if at.fn == nil {
+		prog.directiveDiags = append(prog.directiveDiags,
+			prog.diag(c.Pos(), RuleDirective,
+				"//xfm:allocok is not attached to a function declaration"))
+		return
+	}
+	if len(args) == 0 {
+		prog.directiveDiags = append(prog.directiveDiags,
+			prog.diag(c.Pos(), RuleDirective,
+				"//xfm:allocok is missing a reason — every exemption must say why the function cannot allocate steady-state"))
+		return
+	}
+	prog.allocok[at.fn] = true
 }
 
 func parseGuardedBy(prog *Program, pkg *Package, c *ast.Comment, args []string, at attachment) {

@@ -1,244 +1,165 @@
 package analysis
 
 import (
-	"go/ast"
+	"fmt"
 	"go/token"
-	"go/types"
+	"sort"
+	"strings"
 )
 
 // hotpathAllocRule enforces the PR 3 zero-allocs-per-page bar on
-// functions annotated //xfm:hotpath. It flags the construct classes
-// that historically reintroduced allocations into the swap path:
+// functions annotated //xfm:hotpath, interprocedurally: an annotated
+// function may not *reach*, through any chain of module-local static
+// calls, a construct that allocates (the classes in summary.go). The
+// PR 4 rule looked only at the annotated body, so a hot path calling
+// an innocent-looking helper that builds a map sailed through; this
+// version walks the call graph and reports the full witness chain
+// (`a → b → c allocates at file:line`) on every transitive finding.
 //
-//   - any call into package fmt (formatting always allocates)
-//   - map, chan, and closure creation (make, literals, func literals,
-//     go statements)
-//   - append to a slice declared fresh in the same function with no
-//     reserved capacity (the growth path allocates per page)
-//   - implicit interface boxing of a non-pointer concrete value
-//     (the conversion heap-allocates the value's copy)
+// Traversal semantics:
 //
-// The check is shallow by design: it looks at the annotated function's
-// own body, not its callees. The allocs/op regression tests in
-// compress/scratch_test.go are the dynamic net underneath; this rule
-// exists so the diff review catches the regression before a benchmark
-// has to.
-type hotpathAllocRule struct{}
+//   - edges are the static call graph's (direct calls, concrete
+//     method calls, and conservative interface resolution — every
+//     module-local implementation of the called interface method);
+//   - callees annotated //xfm:hotpath are NOT descended into: they
+//     are roots of their own, independently verified;
+//   - callees annotated //xfm:allocok <reason> are NOT descended
+//     into: the annotation asserts the function is allocation-free in
+//     the steady state (pooled or warm paths whose allocations are
+//     provably cold) and the reason is recorded with the directive;
+//   - calls through function values (unknown callees) are findings —
+//     the walk cannot certify what it cannot see — suppressible at
+//     the call site with //xfm:ignore when the callee contract is
+//     enforced elsewhere (e.g. parallel.ForEach's per-item body,
+//     covered by allocs/op regression tests);
+//   - out-of-module callees have no bodies here and are assumed
+//     allocation-free except package fmt, exactly as in PR 4; the
+//     allocs/op regression tests remain the dynamic net underneath.
+//
+// Each allocation site is reported once, against the root with the
+// shortest witness chain (first-loaded root on ties), so a helper
+// shared by many hot paths is one finding, not one per root.
+type hotpathAllocRule struct {
+	// shallow restores the PR 4 intraprocedural semantics (own body
+	// only, dynamic calls unchecked). Test-only: it exists so the
+	// fixture can prove the old rule misses a hotpath→helper→alloc
+	// chain that the interprocedural rule catches.
+	shallow bool
+}
 
-// NewHotpathAllocRule returns the hotpath-alloc rule.
+// NewHotpathAllocRule returns the interprocedural hotpath-alloc rule.
 func NewHotpathAllocRule() Rule { return hotpathAllocRule{} }
 
 func (hotpathAllocRule) Name() string { return RuleHotpathAlloc }
 
-func (hotpathAllocRule) Check(p *Program) []Diagnostic {
-	var out []Diagnostic
-	for _, pkg := range p.Packages {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil || !p.hotpath[fd] {
-					continue
-				}
-				out = append(out, checkHotpathFunc(p, pkg, fd)...)
-			}
-		}
-	}
-	return out
+// chainStep is one hop of a witness chain: the node reached and the
+// call expression (in the previous node) that reached it.
+type chainStep struct {
+	node *FuncNode
+	pos  token.Pos // call site in the previous node; NoPos for the root
+	via  string    // interface annotation on the edge, if any
 }
 
-func checkHotpathFunc(p *Program, pkg *Package, fd *ast.FuncDecl) []Diagnostic {
-	var out []Diagnostic
-	report := func(pos token.Pos, format string, args ...any) {
-		out = append(out, p.diag(pos, RuleHotpathAlloc, format, args...))
-	}
-	fresh := freshSlices(pkg, fd)
-	sig, _ := pkg.Info.Defs[fd.Name].(*types.Func)
-
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			checkHotpathCall(pkg, fd, n, fresh, report)
-		case *ast.CompositeLit:
-			if tv, ok := pkg.Info.Types[n]; ok {
-				switch tv.Type.Underlying().(type) {
-				case *types.Map:
-					report(n.Pos(), "map literal allocates in hot path %s", funcName(fd))
-				}
-			}
-		case *ast.FuncLit:
-			report(n.Pos(), "closure allocates in hot path %s", funcName(fd))
-			return false // do not descend: the closure body runs elsewhere
-		case *ast.GoStmt:
-			report(n.Pos(), "go statement allocates a goroutine in hot path %s", funcName(fd))
-		case *ast.AssignStmt:
-			for i, lhs := range n.Lhs {
-				if i >= len(n.Rhs) {
-					break
-				}
-				if lt, ok := pkg.Info.Types[lhs]; ok {
-					checkBoxing(pkg, n.Rhs[i], lt.Type, "assignment", fd, report)
-				}
-			}
-		case *ast.ReturnStmt:
-			if sig != nil {
-				results := sig.Type().(*types.Signature).Results()
-				if results.Len() == len(n.Results) {
-					for i, r := range n.Results {
-						checkBoxing(pkg, r, results.At(i).Type(), "return", fd, report)
-					}
-				}
-			}
-		}
-		return true
-	})
-	return out
-}
-
-func checkHotpathCall(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr,
-	fresh map[*types.Var]bool, report func(token.Pos, string, ...any)) {
-	// Calls into package fmt.
-	if fn := calleeFunc(pkg, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
-		report(call.Pos(), "fmt.%s allocates in hot path %s", fn.Name(), funcName(fd))
-		return
-	}
-	// Builtins: make(map/chan), append to fresh slices.
-	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
-			switch b.Name() {
-			case "make":
-				if len(call.Args) > 0 {
-					if tv, ok := pkg.Info.Types[call.Args[0]]; ok {
-						switch tv.Type.Underlying().(type) {
-						case *types.Map:
-							report(call.Pos(), "make(map) allocates in hot path %s", funcName(fd))
-						case *types.Chan:
-							report(call.Pos(), "make(chan) allocates in hot path %s", funcName(fd))
-						}
-					}
-				}
-			case "append":
-				if len(call.Args) > 0 {
-					if dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
-						if v, ok := pkg.Info.Uses[dst].(*types.Var); ok && fresh[v] {
-							report(call.Pos(),
-								"append to %s grows a fresh slice with no reserved capacity in hot path %s",
-								dst.Name, funcName(fd))
-						}
-					}
-				}
-			}
-			return
-		}
-	}
-	// Interface boxing of call arguments.
-	tv, ok := pkg.Info.Types[call.Fun]
-	if !ok {
-		return
-	}
-	sig, ok := tv.Type.Underlying().(*types.Signature)
-	if !ok {
-		return // conversion or builtin
-	}
-	params := sig.Params()
-	for i, arg := range call.Args {
-		var pt types.Type
-		switch {
-		case sig.Variadic() && i >= params.Len()-1:
-			if call.Ellipsis != token.NoPos {
-				continue // slice passed through, no per-element boxing
-			}
-			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
-		case i < params.Len():
-			pt = params.At(i).Type()
-		default:
+func (r hotpathAllocRule) Check(p *Program) []Diagnostic {
+	g := p.CallGraph()
+	var roots []*FuncNode
+	for fd, on := range p.hotpath {
+		if !on {
 			continue
 		}
-		checkBoxing(pkg, arg, pt, "argument", fd, report)
-	}
-}
-
-// checkBoxing reports expr when assigning it to target implicitly
-// boxes a non-pointer concrete value into an interface.
-func checkBoxing(pkg *Package, expr ast.Expr, target types.Type, ctx string,
-	fd *ast.FuncDecl, report func(token.Pos, string, ...any)) {
-	if _, ok := target.Underlying().(*types.Interface); !ok {
-		return
-	}
-	tv, ok := pkg.Info.Types[expr]
-	if !ok || tv.Value != nil { // constants are boxed from static data
-		return
-	}
-	t := tv.Type
-	if t == nil {
-		return
-	}
-	if b, ok := t.(*types.Basic); ok && (b.Kind() == types.UntypedNil || b.Info()&types.IsUntyped != 0) {
-		return
-	}
-	switch t.Underlying().(type) {
-	case *types.Interface:
-		return // interface-to-interface carries the existing box
-	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
-		return // pointer-shaped: the interface data word holds it directly
-	}
-	report(expr.Pos(), "%s boxes %s into %s (heap-allocates) in hot path %s",
-		ctx, types.TypeString(t, types.RelativeTo(pkg.Types)),
-		types.TypeString(target, types.RelativeTo(pkg.Types)), funcName(fd))
-}
-
-// freshSlices finds slice variables declared inside fd with no
-// reserved capacity: `var s []T`, `s := []T{...}`, or
-// `s := make([]T, n)` (two-arg make). Appending to these grows per
-// call; hot paths must reserve capacity up front or write into a
-// caller-provided buffer.
-func freshSlices(pkg *Package, fd *ast.FuncDecl) map[*types.Var]bool {
-	out := map[*types.Var]bool{}
-	mark := func(id *ast.Ident) {
-		if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
-			if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
-				out[v] = true
-			}
+		if node := g.NodeFor(fd); node != nil {
+			roots = append(roots, node)
 		}
 	}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.DeclStmt:
-			gd, ok := n.Decl.(*ast.GenDecl)
-			if !ok {
-				return true
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Decl.Pos() < roots[j].Decl.Pos() })
+
+	var out []Diagnostic
+	// Direct findings: the root's own body, PR 4 message shape.
+	for _, root := range roots {
+		for _, site := range p.summaryFor(root).sites {
+			if site.dynamic && r.shallow {
+				continue // PR 4 did not check dynamic calls
 			}
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok || len(vs.Values) != 0 {
+			out = append(out, p.diag(site.pos, RuleHotpathAlloc,
+				"%s in hot path %s", site.desc, funcName(root.Decl)))
+		}
+	}
+	if r.shallow {
+		return out
+	}
+
+	// Transitive findings: BFS from every root; report each reached
+	// allocation site once with the shortest witness chain.
+	type finding struct {
+		root  *FuncNode
+		chain []chainStep
+		site  allocSite
+	}
+	best := map[token.Pos]finding{}
+	var sitePos []token.Pos
+	for _, root := range roots {
+		visited := map[*FuncNode]bool{root: true}
+		queue := [][]chainStep{{{node: root}}}
+		for len(queue) > 0 {
+			chain := queue[0]
+			queue = queue[1:]
+			cur := chain[len(chain)-1].node
+			for _, edge := range cur.Calls {
+				callee := edge.Callee
+				if visited[callee] || p.hotpath[callee.Decl] || p.allocok[callee.Decl] {
 					continue
 				}
-				for _, name := range vs.Names {
-					mark(name)
-				}
-			}
-		case *ast.AssignStmt:
-			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
-				return true
-			}
-			for i, lhs := range n.Lhs {
-				id, ok := lhs.(*ast.Ident)
-				if !ok {
-					continue
-				}
-				switch rhs := ast.Unparen(n.Rhs[i]).(type) {
-				case *ast.CompositeLit:
-					mark(id)
-				case *ast.CallExpr:
-					if fn, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok {
-						if b, ok := pkg.Info.Uses[fn].(*types.Builtin); ok &&
-							b.Name() == "make" && len(rhs.Args) < 3 {
-							mark(id)
-						}
+				visited[callee] = true
+				next := append(append([]chainStep(nil), chain...),
+					chainStep{node: callee, pos: edge.Pos, via: edge.Via})
+				for _, site := range p.summaryFor(callee).sites {
+					if prev, ok := best[site.pos]; ok && len(prev.chain) <= len(next) {
+						continue
+					} else if !ok {
+						sitePos = append(sitePos, site.pos)
 					}
+					best[site.pos] = finding{root: root, chain: next, site: site}
 				}
+				queue = append(queue, next)
 			}
 		}
-		return true
-	})
+	}
+	sort.Slice(sitePos, func(i, j int) bool { return sitePos[i] < sitePos[j] })
+	for _, pos := range sitePos {
+		f := best[pos]
+		names := make([]string, len(f.chain))
+		for i, s := range f.chain {
+			names[i] = s.node.Name()
+		}
+		d := p.diag(pos, RuleHotpathAlloc,
+			"%s in hot path %s via call chain %s", f.site.desc,
+			funcName(f.root.Decl), strings.Join(names, " → "))
+		d.Witness = witnessChain(p, f.chain, f.site)
+		out = append(out, d)
+	}
 	return out
+}
+
+// witnessChain renders every hop of a transitive finding with its
+// source position, ending at the allocation itself.
+func witnessChain(p *Program, chain []chainStep, site allocSite) []string {
+	var out []string
+	for i := 1; i < len(chain); i++ {
+		s := chain[i]
+		line := fmt.Sprintf("%s calls %s at %s",
+			chain[i-1].node.Name(), s.node.Name(), p.posString(s.pos))
+		if s.via != "" {
+			line += " (via " + s.via + ")"
+		}
+		out = append(out, line)
+	}
+	last := chain[len(chain)-1]
+	out = append(out, fmt.Sprintf("%s: %s at %s",
+		last.node.Name(), site.desc, p.posString(site.pos)))
+	return out
+}
+
+// posString renders "file:line" relative to the module root.
+func (p *Program) posString(pos token.Pos) string {
+	return fmt.Sprintf("%s:%d", p.relFile(pos), p.Fset.Position(pos).Line)
 }

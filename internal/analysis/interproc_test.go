@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHotpathTransitive drives the interprocedural rule over interfix:
+// clean root bodies, allocations one and two hops down, one behind an
+// interface dispatch, and an //xfm:allocok subtree the walk must not
+// enter.
+func TestHotpathTransitive(t *testing.T) {
+	diags := loadFixture(t, "interfix", []Rule{NewHotpathAllocRule()})
+	checkAgainstMarkers(t, "interfix", diags)
+	byFile := map[string]Diagnostic{}
+	for _, d := range diags {
+		byFile[d.File] = d
+	}
+	deep := byFile["interfix.go"]
+	if !strings.Contains(deep.Message, "via call chain interfix.Hot → interfix.helper → interfix.deeper") {
+		t.Errorf("transitive finding should carry the full chain, got: %s", deep.Message)
+	}
+	if len(deep.Witness) == 0 ||
+		!strings.Contains(deep.Witness[len(deep.Witness)-1], "map literal allocates at interfix.go:") {
+		t.Errorf("witness should end at the allocation site, got: %v", deep.Witness)
+	}
+	iface := byFile["dep/dep.go"]
+	if !strings.Contains(iface.Message, "interfix.HotIface → dep.*MapSink.Put") {
+		t.Errorf("interface dispatch should resolve to MapSink, got: %s", iface.Message)
+	}
+	found := false
+	for _, hop := range iface.Witness {
+		if strings.Contains(hop, "via interface dep.Sink.Put") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("witness should annotate the interface edge, got: %v", iface.Witness)
+	}
+}
+
+// TestShallowRuleMissesTransitiveChain is the regression proof the
+// issue demands: the PR 4 intraprocedural semantics (shallow mode)
+// report nothing on interfix, while the want markers above show the
+// interprocedural rule catches the hotpath → helper → alloc chains.
+func TestShallowRuleMissesTransitiveChain(t *testing.T) {
+	diags := loadFixture(t, "interfix", []Rule{hotpathAllocRule{shallow: true}})
+	if len(diags) != 0 {
+		t.Errorf("shallow rule should miss every transitive chain, got: %v", diags)
+	}
+}
+
+// TestLockOrderRule drives lockfix: package one takes A then B,
+// package two takes B then reaches A through a helper, and the rule
+// must report the cycle once with a witness chain for each direction.
+func TestLockOrderRule(t *testing.T) {
+	diags := loadFixture(t, "lockfix", []Rule{NewLockOrderRule()})
+	checkAgainstMarkers(t, "lockfix", diags)
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one cycle diagnostic, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "potential deadlock: lock-order cycle") {
+		t.Errorf("message should name the cycle, got: %s", d.Message)
+	}
+	if len(d.Witness) != 2 {
+		t.Fatalf("want one witness per cycle edge, got %d: %v", len(d.Witness), d.Witness)
+	}
+	joined := strings.Join(d.Witness, "\n")
+	for _, want := range []string{
+		"one.TakeAB holds core.Pair.A",
+		"acquires core.Pair.B",
+		"two.TakeBA holds core.Pair.B",
+		"calls two.grabA",
+		"acquires core.Pair.A",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("witness missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestTelemetryContractRule drives telfix: one violation per clause —
+// unlisted registration, duplicate name, convention violation,
+// computed name, ghost requirement — plus the DESIGN.md stale entry,
+// which cannot carry a Go want marker and is asserted explicitly.
+func TestTelemetryContractRule(t *testing.T) {
+	diags := loadFixture(t, "telfix", []Rule{NewTelemetryContractRule()})
+	var goDiags, mdDiags []Diagnostic
+	for _, d := range diags {
+		if strings.HasSuffix(d.File, ".go") {
+			goDiags = append(goDiags, d)
+		} else {
+			mdDiags = append(mdDiags, d)
+		}
+	}
+	checkAgainstMarkers(t, "telfix", goDiags)
+	if len(mdDiags) != 1 || mdDiags[0].File != "DESIGN.md" ||
+		!strings.Contains(mdDiags[0].Message, "xfm_stale_total") {
+		t.Errorf("want one stale-entry finding against DESIGN.md, got: %v", mdDiags)
+	}
+	var seen []string
+	for _, d := range goDiags {
+		seen = append(seen, d.Message)
+	}
+	all := strings.Join(seen, "\n")
+	for _, want := range []string{
+		"missing from the DESIGN §7 metric catalogue",
+		"already registered at",
+		"violates the naming convention",
+		"not a compile-time string constant",
+		"ghost requirement",
+	} {
+		if !strings.Contains(all, want) {
+			t.Errorf("no finding for clause %q in:\n%s", want, all)
+		}
+	}
+}
+
+// TestTelemetryContractBothDirections mutates nothing on disk: it
+// re-checks that removing a registration (telfix's stale entry) and
+// requiring an unregistered name (telfix's ghost entry) each produce a
+// finding, i.e. the cross-check runs in both directions.
+func TestTelemetryContractBothDirections(t *testing.T) {
+	diags := loadFixture(t, "telfix", []Rule{NewTelemetryContractRule()})
+	var staleDir, ghostDir bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "stale entry") {
+			staleDir = true // catalogue → registrations
+		}
+		if strings.Contains(d.Message, "ghost requirement") {
+			ghostDir = true // required list → registrations
+		}
+	}
+	if !staleDir {
+		t.Error("catalogue entry without a registration must be a finding")
+	}
+	if !ghostDir {
+		t.Error("required metric without a registration must be a finding")
+	}
+}
+
+func TestSelectRules(t *testing.T) {
+	all := DefaultRules()
+	got, err := SelectRules(all, "lock-order,hotpath-alloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 rules, got %d", len(got))
+	}
+	if _, err := SelectRules(all, "no-such-rule"); err == nil {
+		t.Error("unknown rule name must error, not silently skip")
+	}
+	if got, err := SelectRules(all, ""); err != nil || len(got) != len(all) {
+		t.Errorf("empty spec selects everything: %v, %d rules", err, len(got))
+	}
+}
+
+// TestCLILockOrderGate is the CI-gate proof for the new rule: xfmlint
+// over the lockfix fixture exits 1, and -rules/-witness behave.
+func TestCLILockOrderGate(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := CLIMain([]string{"-rules", "lock-order", "-witness",
+		"-C", filepath.Join("testdata", "src", "lockfix")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "potential deadlock") {
+		t.Errorf("stdout should report the cycle:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "\tcore.Pair.") {
+		t.Errorf("-witness should print indented witness hops:\n%s", stdout.String())
+	}
+
+	// The same tree is clean under every other rule: -rules filters.
+	stdout.Reset()
+	stderr.Reset()
+	code = CLIMain([]string{"-rules", "hotpath-alloc,atomic-field",
+		"-C", filepath.Join("testdata", "src", "lockfix")}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 with lock-order filtered out\nstdout:\n%s",
+			code, stdout.String())
+	}
+
+	// Unknown rule names are usage errors.
+	if code := CLIMain([]string{"-rules", "bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown -rules name: exit code = %d, want 2", code)
+	}
+}
+
+// TestCLIJSONWitness: the JSON artifact carries witness chains so the
+// CI upload is a self-contained audit trail.
+func TestCLIJSONWitness(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := CLIMain([]string{"-json", "-C", filepath.Join("testdata", "src", "lockfix")},
+		&stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal([]byte(stdout.String()), &diags); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 1 || len(diags[0].Witness) != 2 {
+		t.Fatalf("want one diagnostic with two witness hops, got: %+v", diags)
+	}
+}

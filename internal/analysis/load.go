@@ -43,9 +43,14 @@ type Program struct {
 
 	// Directive state, populated by scanDirectives during Load.
 	hotpath        map[*ast.FuncDecl]bool
-	guards         map[*types.Var]*Guard
+	allocok        map[*ast.FuncDecl]bool
 	suppressions   []suppression
+	guards         map[*types.Var]*Guard
 	directiveDiags []Diagnostic
+
+	// Interprocedural state, built lazily by the first rule that asks.
+	callgraph *CallGraph
+	summaries map[*FuncNode]*summary
 }
 
 // Guard records one //xfm:guardedby annotation: Field may only be
@@ -128,6 +133,7 @@ func (c *Context) Load(dir string, patterns ...string) (*Program, error) {
 		ModPath: modPath,
 		ModDir:  modDir,
 		hotpath: map[*ast.FuncDecl]bool{},
+		allocok: map[*ast.FuncDecl]bool{},
 		guards:  map[*types.Var]*Guard{},
 	}
 	for _, d := range dirs {

@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file computes the memoized per-function allocation summaries
+// the transitive hotpath-alloc rule composes over the call graph. A
+// summary lists every construct in one function's own body that the
+// PR 3 zero-allocs-per-page bar bans:
+//
+//   - any call into package fmt (formatting always allocates)
+//   - map, chan, and closure creation (make, literals, func literals,
+//     go statements)
+//   - append to a slice declared fresh in the same function with no
+//     reserved capacity (the growth path allocates per page)
+//   - implicit interface boxing of a non-pointer concrete value
+//     (the conversion heap-allocates the value's copy)
+//
+// plus the function's dynamic call sites (calls through function
+// values), which the interprocedural walk cannot see past. Summaries
+// are computed for every module function once and shared by every
+// hotpath root that reaches it; the call graph decides reachability.
+
+// allocSite is one banned construct in a function body. Desc reads as
+// a clause — "map literal allocates" — so direct findings can render
+// the PR 4 message shape ("<desc> in hot path <fn>") and transitive
+// findings can embed it in a witness chain.
+type allocSite struct {
+	pos     token.Pos
+	desc    string
+	dynamic bool // a call through a function value: unknown callee, unprovable
+}
+
+// summary is one function's allocation facts, own body only.
+type summary struct {
+	sites []allocSite
+}
+
+// Summary computes (memoized) the allocation summary for node.
+func (p *Program) summaryFor(node *FuncNode) *summary {
+	if p.summaries == nil {
+		p.summaries = map[*FuncNode]*summary{}
+	}
+	if s, ok := p.summaries[node]; ok {
+		return s
+	}
+	s := &summary{sites: allocSites(node.Pkg, node.Decl)}
+	for _, pos := range node.Dynamic {
+		s.sites = append(s.sites, allocSite{
+			pos:     pos,
+			desc:    "call through a function value has an unknown callee (cannot prove zero-alloc)",
+			dynamic: true,
+		})
+	}
+	p.summaries[node] = s
+	return s
+}
+
+// allocSites classifies every banned construct in fd's own body.
+func allocSites(pkg *Package, fd *ast.FuncDecl) []allocSite {
+	var out []allocSite
+	add := func(pos token.Pos, desc string) {
+		out = append(out, allocSite{pos: pos, desc: desc})
+	}
+	fresh := freshSlices(pkg, fd)
+	sig, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			classifyCall(pkg, n, fresh, add)
+		case *ast.CompositeLit:
+			if tv, ok := pkg.Info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					add(n.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			add(n.Pos(), "closure allocates")
+			return false // do not descend: the closure body runs elsewhere
+		case *ast.GoStmt:
+			add(n.Pos(), "go statement allocates a goroutine")
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if lt, ok := pkg.Info.Types[lhs]; ok {
+					classifyBoxing(pkg, n.Rhs[i], lt.Type, "assignment", add)
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil {
+				results := sig.Type().(*types.Signature).Results()
+				if results.Len() == len(n.Results) {
+					for i, r := range n.Results {
+						classifyBoxing(pkg, r, results.At(i).Type(), "return", add)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func classifyCall(pkg *Package, call *ast.CallExpr,
+	fresh map[*types.Var]bool, add func(token.Pos, string)) {
+	// Calls into package fmt.
+	if fn := calleeFunc(pkg, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		add(call.Pos(), "fmt."+fn.Name()+" allocates")
+		return
+	}
+	// Builtins: make(map/chan), append to fresh slices.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if len(call.Args) > 0 {
+					if tv, ok := pkg.Info.Types[call.Args[0]]; ok {
+						switch tv.Type.Underlying().(type) {
+						case *types.Map:
+							add(call.Pos(), "make(map) allocates")
+						case *types.Chan:
+							add(call.Pos(), "make(chan) allocates")
+						}
+					}
+				}
+			case "append":
+				if len(call.Args) > 0 {
+					if dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+						if v, ok := pkg.Info.Uses[dst].(*types.Var); ok && fresh[v] {
+							add(call.Pos(),
+								"append to "+dst.Name+" grows a fresh slice with no reserved capacity")
+						}
+					}
+				}
+			}
+			return
+		}
+	}
+	// Interface boxing of call arguments.
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // conversion or builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		classifyBoxing(pkg, arg, pt, "argument", add)
+	}
+}
+
+// classifyBoxing records expr when assigning it to target implicitly
+// boxes a non-pointer concrete value into an interface.
+func classifyBoxing(pkg *Package, expr ast.Expr, target types.Type, ctx string,
+	add func(token.Pos, string)) {
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Value != nil { // constants are boxed from static data
+		return
+	}
+	t := tv.Type
+	if t == nil {
+		return
+	}
+	if b, ok := t.(*types.Basic); ok && (b.Kind() == types.UntypedNil || b.Info()&types.IsUntyped != 0) {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Interface:
+		return // interface-to-interface carries the existing box
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: the interface data word holds it directly
+	}
+	add(expr.Pos(), ctx+" boxes "+types.TypeString(t, types.RelativeTo(pkg.Types))+
+		" into "+types.TypeString(target, types.RelativeTo(pkg.Types))+" (heap-allocates)")
+}
+
+// freshSlices finds slice variables declared inside fd with no
+// reserved capacity: `var s []T`, `s := []T{...}`, or
+// `s := make([]T, n)` (two-arg make). Appending to these grows per
+// call; hot paths must reserve capacity up front or write into a
+// caller-provided buffer.
+func freshSlices(pkg *Package, fd *ast.FuncDecl) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	mark := func(id *ast.Ident) {
+		if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+			if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+				out[v] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					mark(name)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch rhs := ast.Unparen(n.Rhs[i]).(type) {
+				case *ast.CompositeLit:
+					mark(id)
+				case *ast.CallExpr:
+					if fn, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok {
+						if b, ok := pkg.Info.Uses[fn].(*types.Builtin); ok &&
+							b.Name() == "make" && len(rhs.Args) < 3 {
+							mark(id)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"bufio"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// telemetryContractRule keeps the metric namespace from rotting. The
+// telemetry pipeline has three copies of every metric name — the
+// registration (`telemetry.NewCounter("xfm_offloads_total", ...)`),
+// the required lists hardcoded in cmd/telemetryck that gate CI, and
+// the DESIGN §7 metric catalogue that documents the namespace — and
+// nothing but convention kept them aligned. This rule makes the
+// alignment a build gate:
+//
+//   - every registration's name argument must be a compile-time string
+//     constant (a computed name cannot be cross-checked statically);
+//   - names must match ^(xfm|sfm|nma|dram|memctrl|parallel|telemetry|
+//     bench)_[a-z0-9_]+$ — the layer-prefixed lower_snake convention;
+//   - a name may be registered once, module-wide;
+//   - every metric in telemetryck's defaultRequiredMetrics /
+//     defaultRequiredSeries lists (extracted from its AST, so the rule
+//     reads the same source CI runs) must have a registration — a
+//     ghost requirement would make the CI gate unsatisfiable;
+//   - the DESIGN §7 catalogue and the registrations must match in both
+//     directions: an unlisted registration is documentation rot, a
+//     listed-but-unregistered name is a stale catalogue entry.
+//
+// The telemetryck and DESIGN.md cross-checks quietly stand down when
+// the respective source is not part of the load (e.g. linting a single
+// package), so the rule degrades to the local checks instead of
+// failing on partial views.
+type telemetryContractRule struct{}
+
+// NewTelemetryContractRule returns the telemetry-contract rule.
+func NewTelemetryContractRule() Rule { return telemetryContractRule{} }
+
+func (telemetryContractRule) Name() string { return RuleTelemetryContract }
+
+// metricNameRE is the module's metric naming convention: a known layer
+// prefix, then lower_snake.
+var metricNameRE = regexp.MustCompile(`^(xfm|sfm|nma|dram|memctrl|parallel|telemetry|bench)_[a-z0-9_]+$`)
+
+// registrationFuncs are the internal/telemetry constructors whose
+// first argument is a metric name being registered.
+var registrationFuncs = map[string]bool{
+	"NewCounter": true, "NewFloatCounter": true, "NewGauge": true,
+	"NewGaugeFunc": true, "NewHistogram": true, "NewCounterVec": true,
+	"NewGaugeVec": true, "NewHistogramVec": true,
+}
+
+// histSeriesSuffixes are the per-histogram derived series the sampler
+// emits; required-series names are folded onto the base metric before
+// the registration lookup.
+var histSeriesSuffixes = []string{"_count", "_sum", "_p50", "_p95", "_p99"}
+
+type regSite struct {
+	name string
+	pos  token.Pos
+}
+
+func (telemetryContractRule) Check(p *Program) []Diagnostic {
+	var out []Diagnostic
+	registered := map[string]regSite{}
+	var sites []regSite
+
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || !registrationFuncs[fn.Name()] || fn.Pkg() == nil ||
+					!strings.HasSuffix(fn.Pkg().Path(), "internal/telemetry") ||
+					len(call.Args) == 0 {
+					return true
+				}
+				tv := pkg.Info.Types[call.Args[0]]
+				if tv.Value == nil || tv.Value.Kind() != constant.String {
+					out = append(out, p.diag(call.Args[0].Pos(), RuleTelemetryContract,
+						"metric name passed to telemetry.%s is not a compile-time string constant — computed names cannot be cross-checked against telemetryck or the DESIGN catalogue", fn.Name()))
+					return true
+				}
+				name := constant.StringVal(tv.Value)
+				if !metricNameRE.MatchString(name) {
+					out = append(out, p.diag(call.Args[0].Pos(), RuleTelemetryContract,
+						"metric name %q violates the naming convention %s", name, metricNameRE))
+				}
+				if first, dup := registered[name]; dup {
+					d := p.diag(call.Args[0].Pos(), RuleTelemetryContract,
+						"metric %q is already registered at %s — names must be unique module-wide", name, p.posString(first.pos))
+					out = append(out, d)
+				} else {
+					registered[name] = regSite{name: name, pos: call.Args[0].Pos()}
+					sites = append(sites, regSite{name: name, pos: call.Args[0].Pos()})
+				}
+				return true
+			})
+		}
+	}
+
+	out = append(out, checkRequiredLists(p, registered)...)
+	out = append(out, checkCatalogue(p, registered, sites)...)
+	return out
+}
+
+// checkRequiredLists extracts the defaultRequiredMetrics and
+// defaultRequiredSeries string slices from cmd/telemetryck's AST — the
+// very source CI runs — and verifies every required name has a
+// registration in the module.
+func checkRequiredLists(p *Program, registered map[string]regSite) []Diagnostic {
+	var tck *Package
+	for _, pkg := range p.Packages {
+		if strings.HasSuffix(pkg.Path, "cmd/telemetryck") {
+			tck = pkg
+			break
+		}
+	}
+	if tck == nil {
+		return nil // partial load: nothing to cross-check against
+	}
+	var out []Diagnostic
+	check := func(listName string, fold bool) {
+		for _, elt := range stringListVar(tck, listName) {
+			name := elt.name
+			if fold {
+				for _, suf := range histSeriesSuffixes {
+					if base := strings.TrimSuffix(name, suf); base != name {
+						name = base
+						break
+					}
+				}
+			}
+			if _, ok := registered[name]; !ok {
+				out = append(out, p.diag(elt.pos, RuleTelemetryContract,
+					"%s requires %q but no registration for it exists in the module (ghost requirement)", listName, elt.name))
+			}
+		}
+	}
+	check("defaultRequiredMetrics", false)
+	check("defaultRequiredSeries", true)
+	return out
+}
+
+// stringListVar returns the string elements (with positions) of a
+// package-level `var name = []string{...}` declaration.
+func stringListVar(pkg *Package, name string) []regSite {
+	var out []regSite
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, ident := range vs.Names {
+					if ident.Name != name || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range cl.Elts {
+						tv := pkg.Info.Types[elt]
+						if tv.Value != nil && tv.Value.Kind() == constant.String {
+							out = append(out, regSite{name: constant.StringVal(tv.Value), pos: elt.Pos()})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// catalogueEntry is one backticked metric name in the DESIGN §7 table.
+type catalogueEntry struct {
+	name string
+	line int
+}
+
+// checkCatalogue parses the "**Metric catalogue.**" table out of the
+// module's DESIGN.md and cross-checks it against the registrations in
+// both directions.
+func checkCatalogue(p *Program, registered map[string]regSite, sites []regSite) []Diagnostic {
+	entries, ok := parseCatalogue(filepath.Join(p.ModDir, "DESIGN.md"))
+	if !ok {
+		return nil // no DESIGN.md or no catalogue section: stand down
+	}
+	var out []Diagnostic
+	listed := map[string]bool{}
+	for _, e := range entries {
+		listed[e.name] = true
+	}
+	for _, s := range sites {
+		if !listed[s.name] {
+			out = append(out, p.diag(s.pos, RuleTelemetryContract,
+				"metric %q is registered but missing from the DESIGN §7 metric catalogue", s.name))
+		}
+	}
+	var stale []catalogueEntry
+	for _, e := range entries {
+		if _, ok := registered[e.name]; !ok {
+			stale = append(stale, e)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		if stale[i].line != stale[j].line {
+			return stale[i].line < stale[j].line
+		}
+		return stale[i].name < stale[j].name
+	})
+	for _, e := range stale {
+		out = append(out, Diagnostic{
+			File: "DESIGN.md", Line: e.line, Col: 1, Rule: RuleTelemetryContract,
+			Message: "catalogue lists `" + e.name + "` but the module has no registration for it (stale entry)",
+		})
+	}
+	return out
+}
+
+// catalogueToken matches one backticked name inside the table; the
+// optional {label} suffix documents a vec's label key and is stripped.
+var catalogueToken = regexp.MustCompile("`([a-z][a-z0-9_]*)(\\{[a-z_]+\\})?`")
+
+// parseCatalogue scans DESIGN.md for the table that follows the
+// "**Metric catalogue.**" marker and returns every backticked metric
+// name with its line number. ok is false when the file or marker is
+// absent.
+func parseCatalogue(path string) (entries []catalogueEntry, ok bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo, inSection, inTable := 0, false, false
+	seen := map[string]bool{}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if !inSection {
+			if strings.HasPrefix(line, "**Metric catalogue.**") {
+				inSection = true
+			}
+			continue
+		}
+		isRow := strings.HasPrefix(line, "|")
+		if inTable && !isRow {
+			break // table ended
+		}
+		if !isRow {
+			continue // blank lines between marker and table
+		}
+		inTable = true
+		for _, m := range catalogueToken.FindAllStringSubmatch(line, -1) {
+			name := m[1]
+			if !seen[name] {
+				seen[name] = true
+				entries = append(entries, catalogueEntry{name: name, line: lineNo})
+			}
+		}
+	}
+	if !inSection {
+		return nil, false
+	}
+	return entries, true
+}

@@ -1,0 +1,7 @@
+// Package a half of a deliberate import cycle.
+package a
+
+import "cyclefix/b"
+
+// X depends on b.Y.
+var X = b.Y + 1

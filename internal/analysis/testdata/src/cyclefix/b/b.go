@@ -1,0 +1,7 @@
+// Package b closes the cycle back to a.
+package b
+
+import "cyclefix/a"
+
+// Y depends on a.X.
+var Y = a.X + 1

@@ -1,0 +1,3 @@
+module cyclefix
+
+go 1.22

@@ -1,0 +1,21 @@
+// Package dep provides the interface target for interfix's dispatch
+// chain.
+package dep
+
+// Sink consumes integers.
+type Sink interface{ Put(int) }
+
+// MapSink allocates its map lazily — on the hot path.
+type MapSink struct{ m map[int]bool }
+
+func (s *MapSink) Put(n int) {
+	if s.m == nil {
+		s.m = map[int]bool{} // want hotpath-alloc
+	}
+	s.m[n] = true
+}
+
+// NullSink is the allocation-free implementation.
+type NullSink struct{}
+
+func (NullSink) Put(int) {}

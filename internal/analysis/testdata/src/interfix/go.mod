@@ -1,0 +1,3 @@
+module interfix
+
+go 1.22

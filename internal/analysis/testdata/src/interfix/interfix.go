@@ -1,0 +1,45 @@
+// Package interfix seeds transitive hotpath-alloc chains the shallow
+// (PR 4) rule could not see: every annotated root body is clean, and
+// the allocations hide one to two hops down — behind a plain call and
+// behind an interface dispatch.
+package interfix
+
+import "interfix/dep"
+
+// Hot's own body is allocation-free; the map literal is two calls
+// away.
+//
+//xfm:hotpath
+func Hot(n int) int {
+	return helper(n)
+}
+
+func helper(n int) int {
+	return deeper(n)
+}
+
+func deeper(n int) int {
+	m := map[int]int{n: n} // want hotpath-alloc
+	return len(m)
+}
+
+// HotIface dispatches through an interface: the conservative call
+// graph fans out to every module-local implementation, so the
+// allocating MapSink is reached even though a NullSink may be passed.
+//
+//xfm:hotpath
+func HotIface(s dep.Sink, n int) {
+	s.Put(n)
+}
+
+// HotPooled calls a function excused with //xfm:allocok: the walk must
+// not descend into it, so this root stays clean.
+//
+//xfm:hotpath
+func HotPooled(n int) int { return pooled(n) }
+
+//xfm:allocok fixture stand-in for a pooled warm path whose allocations are provably cold
+func pooled(n int) int {
+	s := make([]int, n)
+	return len(s)
+}

@@ -1,0 +1,15 @@
+// Package core owns the two lock classes the sibling packages acquire
+// in opposite orders.
+package core
+
+import "sync"
+
+// Pair bundles the two mutexes; lock-order keys on the fields
+// core.Pair.A and core.Pair.B, not on any particular instance.
+type Pair struct {
+	A sync.Mutex
+	B sync.Mutex
+}
+
+// P is the shared instance both packages lock.
+var P Pair

@@ -1,0 +1,12 @@
+// Package one acquires A before B.
+package one
+
+import "lockfix/core"
+
+// TakeAB holds A (deferred unlock) while taking B.
+func TakeAB() {
+	core.P.A.Lock()
+	defer core.P.A.Unlock()
+	core.P.B.Lock() // want lock-order
+	core.P.B.Unlock()
+}

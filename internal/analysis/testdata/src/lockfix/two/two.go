@@ -1,0 +1,18 @@
+// Package two acquires B before A — the inversion — with the second
+// acquisition hidden behind a helper call so the witness must walk the
+// call graph.
+package two
+
+import "lockfix/core"
+
+// TakeBA holds B for its whole body and reaches A through grabA.
+func TakeBA() {
+	core.P.B.Lock()
+	defer core.P.B.Unlock()
+	grabA()
+}
+
+func grabA() {
+	core.P.A.Lock()
+	core.P.A.Unlock()
+}

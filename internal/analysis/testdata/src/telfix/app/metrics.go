@@ -1,0 +1,14 @@
+// Package app seeds one violation of each telemetry-contract clause.
+package app
+
+import "telfix/internal/telemetry"
+
+func dyn() string { return "xfm_dyn_total" }
+
+var (
+	good     = telemetry.NewCounter("xfm_good_total", "listed in the catalogue and required by telemetryck")
+	unlisted = telemetry.NewCounter("xfm_unlisted_total", "registered but absent from the catalogue") // want telemetry-contract
+	dup      = telemetry.NewCounter("xfm_good_total", "second registration of a taken name")          // want telemetry-contract
+	badName  = telemetry.NewGauge("badprefix_metric", "listed, but violates the prefix convention")   // want telemetry-contract
+	computed = telemetry.NewCounter(dyn(), "computed names cannot be cross-checked")                  // want telemetry-contract
+)

@@ -1,0 +1,15 @@
+// Command telemetryck mirrors the real validator's hardcoded
+// requirement lists: the linter extracts them from this file's AST.
+// The ghost entry has no registration anywhere in the module.
+package main
+
+var defaultRequiredMetrics = []string{
+	"xfm_good_total",
+	"xfm_ghost_total", // want telemetry-contract
+}
+
+var defaultRequiredSeries = []string{
+	"xfm_good_total_p95",
+}
+
+func main() { _, _ = defaultRequiredMetrics, defaultRequiredSeries }

@@ -1,0 +1,3 @@
+module telfix
+
+go 1.22

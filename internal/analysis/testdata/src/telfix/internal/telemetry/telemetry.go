@@ -1,0 +1,16 @@
+// Package telemetry mirrors the real registration surface: the linter
+// recognizes any New* constructor in a package whose import path ends
+// in internal/telemetry.
+package telemetry
+
+// Counter is a registered monotone counter.
+type Counter struct{}
+
+// Gauge is a registered instantaneous value.
+type Gauge struct{}
+
+// NewCounter registers a counter under name.
+func NewCounter(name, help string) *Counter { _, _ = name, help; return &Counter{} }
+
+// NewGauge registers a gauge under name.
+func NewGauge(name, help string) *Gauge { _, _ = name, help; return &Gauge{} }

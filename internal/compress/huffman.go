@@ -30,6 +30,8 @@ type depthItem struct {
 // len(freq)). Symbols with zero frequency get length 0. If only one
 // symbol has nonzero frequency it is assigned length 1. All working
 // memory comes from hs.
+//
+//xfm:allocok pop/merge closures do not escape and are stack-allocated; zero allocs/op pinned by the compression benchmarks
 func huffBuildLengthsInto(lengths []uint8, freq []int, hs *huffScratch) {
 	for i := range lengths {
 		lengths[i] = 0

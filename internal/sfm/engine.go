@@ -12,6 +12,12 @@ import (
 // batchClock feeds the lock-wait and stage-duration histograms.
 var batchClock = time.Now //xfm:ignore sim-determinism telemetry-only wall clock; simulation state and results never read it
 
+// stageClock reads the wall clock through the batchClock seam for the
+// stage-duration and lock-wait histograms.
+//
+//xfm:allocok telemetry clock seam: the indirect time.Now call allocates nothing
+func stageClock() time.Time { return batchClock() }
+
 // batchEngine executes a ShardedBackend batch as a two-stage,
 // page-granular pipeline (the software analogue of the paper's §5
 // refresh-access overlap: do the heavy work where it doesn't
@@ -153,9 +159,9 @@ func (e *batchEngine) swapOutBatch(now dram.Ps, pages []PageOut) []error {
 	e.outPlans = e.outPlans[:len(pages)]
 	e.plan(len(pages), func(i int) int { return ShardIndexFor(pages[i].ID, len(e.s.shards)) })
 	gPipelineDepth.SetInt(int64(len(e.active)))
-	t0 := batchClock()
+	t0 := stageClock()
 	e.s.pool.Run(len(pages), e.s.workers, e.outStepFn)
-	hStageOut.Observe(float64(batchClock().Sub(t0)))
+	hStageOut.Observe(float64(stageClock().Sub(t0)))
 	e.outs, e.errs = nil, nil
 	return errs
 }
@@ -184,9 +190,9 @@ func (e *batchEngine) commitOutShard(si int) {
 	plans, errs := e.outPlans, e.errs
 	hShardBatchPages.Observe(float64(len(idxs)))
 	sh := &e.s.shards[si]
-	t0 := batchClock()
+	t0 := stageClock()
 	sh.mu.Lock()
-	hLockWaitNs.Observe(float64(batchClock().Sub(t0)))
+	hLockWaitNs.Observe(float64(stageClock().Sub(t0)))
 	for _, i := range idxs {
 		pg := &outs[i]
 		errs[i] = sh.b.commitOut(pg.ID, pg.Data, &plans[i])
@@ -213,12 +219,12 @@ func (e *batchEngine) swapInBatch(now dram.Ps, pages []PageIn) []error {
 	e.inPlans = e.inPlans[:len(pages)]
 	e.plan(len(pages), func(i int) int { return ShardIndexFor(pages[i].ID, len(e.s.shards)) })
 	gPipelineDepth.SetInt(int64(len(e.active)))
-	t0 := batchClock()
+	t0 := stageClock()
 	e.s.pool.Run(len(e.active), e.s.workers, e.gatherStepFn)
-	t1 := batchClock()
+	t1 := stageClock()
 	hStageGth.Observe(float64(t1.Sub(t0)))
 	e.s.pool.Run(len(pages), e.s.workers, e.inStepFn)
-	hStageInDC.Observe(float64(batchClock().Sub(t1)))
+	hStageInDC.Observe(float64(stageClock().Sub(t1)))
 	e.ins, e.errs = nil, nil
 	for i := range e.inPlans {
 		e.inPlans[i] = inPlan{} // drop pinned-slot aliases
@@ -236,9 +242,9 @@ func (e *batchEngine) gatherStep(_, i int) {
 	idxs := e.byShard[si]
 	hShardBatchPages.Observe(float64(len(idxs)))
 	sh := &e.s.shards[si]
-	t0 := batchClock()
+	t0 := stageClock()
 	sh.mu.Lock()
-	hLockWaitNs.Observe(float64(batchClock().Sub(t0)))
+	hLockWaitNs.Observe(float64(stageClock().Sub(t0)))
 	for _, j := range idxs {
 		pg := &ins[j]
 		plans[j] = sh.b.gatherIn(pg.ID, pg.Dst)
@@ -266,9 +272,9 @@ func (e *batchEngine) commitInShard(si int) {
 	idxs, ins := e.byShard[si], e.ins //xfm:ignore guardedby worker side of one batch: e.mu is held by the batch owner; the pending counter ordered every decompressor's write before this read
 	plans, errs := e.inPlans, e.errs
 	sh := &e.s.shards[si]
-	t0 := batchClock()
+	t0 := stageClock()
 	sh.mu.Lock()
-	hLockWaitNs.Observe(float64(batchClock().Sub(t0)))
+	hLockWaitNs.Observe(float64(stageClock().Sub(t0)))
 	for _, i := range idxs {
 		errs[i] = sh.b.commitIn(ins[i].ID, &plans[i])
 	}

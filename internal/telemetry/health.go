@@ -292,7 +292,7 @@ func DefaultRules() []Rule {
 			SeriesExpr("nma_conditional_accesses_total", AggSum, healthWindow),
 			SeriesExpr("nma_random_accesses_total", AggSum, healthWindow)),
 		SeriesExpr("nma_slots_offered_total", AggSum, healthWindow))
-	promotion := SeriesExpr("workload_promotion_rate", AggLast, 1)
+	promotion := SeriesExpr("sfm_promotion_rate", AggLast, 1)
 	return []Rule{
 		{
 			Name: "fallback-rate-spike", Severity: SevDegraded,

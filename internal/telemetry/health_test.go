@@ -137,7 +137,7 @@ func healthyBase() map[string][]float64 {
 		"nma_queue_depth":                 {4, 6, 5},
 		"memctrl_queue_full_stalls_total": {0, 1, 0},
 		"xfm_ecc_uncorrectable_total":     {0, 0, 0},
-		"workload_promotion_rate":         {0.74, 0.75, 0.75},
+		"sfm_promotion_rate":              {0.74, 0.75, 0.75},
 	}
 }
 
@@ -208,19 +208,19 @@ func TestDefaultRulesScenarios(t *testing.T) {
 	}
 
 	low := healthyBase()
-	low["workload_promotion_rate"] = []float64{0.2, 0.15, 0.1}
+	low["sfm_promotion_rate"] = []float64{0.2, 0.15, 0.1}
 	if h := evalDefault(t, low); !firing(h, "promotion-rate-low") {
 		t.Fatalf("low promotion = %+v, want firing", h)
 	}
 	// Promotion gauge still at its zero value: guard keeps the low-band
 	// rule quiet (no workload ran).
-	low["workload_promotion_rate"] = []float64{0, 0, 0}
+	low["sfm_promotion_rate"] = []float64{0, 0, 0}
 	if h := evalDefault(t, low); firing(h, "promotion-rate-low") {
 		t.Fatalf("zero promotion = %+v, want guarded off", h)
 	}
 
 	high := healthyBase()
-	high["workload_promotion_rate"] = []float64{0.95, 0.97, 0.99}
+	high["sfm_promotion_rate"] = []float64{0.95, 0.97, 0.99}
 	if h := evalDefault(t, high); !firing(h, "promotion-rate-high") {
 		t.Fatalf("high promotion = %+v, want firing", h)
 	}

@@ -203,6 +203,8 @@ func (s *Sampler) Samples() int {
 // picoseconds. Every SimEvery-th tick takes a sample. Ticks that do
 // not advance the recorded timeline (a second simulator running behind
 // the first) are dropped, keeping timestamps strictly monotonic.
+//
+//xfm:allocok sampling is amortized to once per sim_every ticks and writes into preallocated rings
 func (s *Sampler) SimTick(nowPs int64) {
 	if !s.enabled.Load() {
 		return
@@ -232,6 +234,8 @@ func (s *Sampler) SimTick(nowPs int64) {
 // chunks and every sample reads exactly the registry state a stepped
 // run would have produced. advance is always called with chunk counts
 // summing to n, even when the recorder is disabled.
+//
+//xfm:allocok sampling is amortized to once per sim_every ticks and writes into preallocated rings
 func (s *Sampler) SimTickRange(startPs, stepPs, n int64, advance func(k int64)) {
 	if n <= 0 {
 		return
@@ -564,7 +568,7 @@ func DefaultSeriesMetrics() []string {
 		"xfm_fallback_rate", "nma_slot_utilization",
 		"nma_queue_depth", "nma_spm_used_bytes",
 		"memctrl_read_queue_depth", "memctrl_write_queue_depth",
-		"workload_promotion_rate",
+		"sfm_promotion_rate",
 		// Latency and size distributions (windowed quantiles).
 		"nma_offload_latency_ps", "memctrl_request_latency_ps",
 		"sfm_compressed_page_bytes",

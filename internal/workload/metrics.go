@@ -7,5 +7,5 @@ import "xfm/internal/telemetry"
 // front-end), so the flight recorder sees the §2.1 promotion rate as a
 // trajectory and the health monitor can flag drift outside the
 // validated band, not just the end-of-run figure.
-var gPromotionRate = telemetry.NewGauge("workload_promotion_rate",
+var gPromotionRate = telemetry.NewGauge("sfm_promotion_rate",
 	"Observed far-memory promotion rate (§2.1): distinct bytes promoted over distinct bytes ever far, so far.")

@@ -82,7 +82,7 @@ func (w WebFrontend) Run(backend sfm.Backend) (Result, error) {
 	// marks pages that resided in far memory at any point, promoted
 	// marks those promoted back at least once. Raw byte counters would
 	// count re-promotions of the same hot page every time. The running
-	// counts feed the workload_promotion_rate gauge every cold-scan
+	// counts feed the sfm_promotion_rate gauge every cold-scan
 	// epoch so the flight recorder sees the rate as a trajectory.
 	everFar := make([]bool, w.Pages)
 	promoted := make([]bool, w.Pages)

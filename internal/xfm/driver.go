@@ -7,12 +7,17 @@
 package xfm
 
 import (
+	"errors"
 	"fmt"
 
 	"xfm/internal/dram"
 	"xfm/internal/nma"
 	"xfm/internal/telemetry"
 )
+
+// errNotInitialized is preallocated: Submit sits on the swap-out hot
+// path and must not construct an error per rejected call.
+var errNotInitialized = errors.New("xfm: driver not initialized with Paramset")
 
 // Driver models the XFM_Driver (§6): "primitives for interacting with
 // XFM hardware via MMIO operations to internal registers", exposing
@@ -101,7 +106,7 @@ func (d *Driver) PollCompletions() int64 {
 // request and the caller must run the operation on the CPU.
 func (d *Driver) Submit(req nma.Request) (bool, error) {
 	if !d.paramSet {
-		return false, fmt.Errorf("xfm: driver not initialized with Paramset")
+		return false, errNotInitialized
 	}
 	d.mmioWrite(1)
 	return d.sim.Submit(req), nil

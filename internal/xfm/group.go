@@ -109,7 +109,7 @@ func (g *GroupBackend) pageGroupOf(addr int64) int {
 // reduced window and placed at the same offset on every DIMM.
 func (g *GroupBackend) SwapOut(now dram.Ps, id sfm.PageID, data []byte) error {
 	if len(data) != sfm.PageSize {
-		return fmt.Errorf("xfm: page %d has %d bytes, want %d", id, len(data), sfm.PageSize)
+		return fmt.Errorf("xfm: page %d has %d bytes, want %d", id, len(data), sfm.PageSize) //xfm:ignore hotpath-alloc cold validation path: wrong page size is a caller bug, never taken steady-state
 	}
 	if _, dup := g.slots[id]; dup {
 		return sfm.ErrExists
@@ -168,7 +168,7 @@ func (g *GroupBackend) placeCompressed(now dram.Ps, id sfm.PageID, cl Compressed
 // operations without additional memory copies" (§6).
 func (g *GroupBackend) SwapIn(now dram.Ps, id sfm.PageID, dst []byte, offload bool) error {
 	if len(dst) != sfm.PageSize {
-		return fmt.Errorf("xfm: dst has %d bytes, want %d", len(dst), sfm.PageSize)
+		return fmt.Errorf("xfm: dst has %d bytes, want %d", len(dst), sfm.PageSize) //xfm:ignore hotpath-alloc cold validation path: wrong buffer size is a caller bug, never taken steady-state
 	}
 	cl, ok := g.slots[id]
 	if !ok {

@@ -66,7 +66,7 @@ func (l MultiChannelLayout) Split(page []byte) [][]byte {
 // interleave split without allocating.
 func (l MultiChannelLayout) SplitInto(parts [][]byte, page []byte) [][]byte {
 	if len(parts) != l.DIMMs {
-		panic(fmt.Sprintf("xfm: SplitInto got %d parts, layout has %d DIMMs", len(parts), l.DIMMs))
+		panic(fmt.Sprintf("xfm: SplitInto got %d parts, layout has %d DIMMs", len(parts), l.DIMMs)) //xfm:ignore hotpath-alloc panic guard on layout misuse; Sprintf runs only when panicking
 	}
 	for off, i := 0, 0; off < len(page); off, i = off+l.InterleaveBytes, i+1 {
 		end := off + l.InterleaveBytes
@@ -94,7 +94,7 @@ func (l MultiChannelLayout) Gather(parts [][]byte) []byte {
 // resliced to length 0).
 func (l MultiChannelLayout) GatherInto(page []byte, parts [][]byte) []byte {
 	if len(parts) != l.DIMMs {
-		panic(fmt.Sprintf("xfm: Gather got %d parts, layout has %d DIMMs", len(parts), l.DIMMs))
+		panic(fmt.Sprintf("xfm: Gather got %d parts, layout has %d DIMMs", len(parts), l.DIMMs)) //xfm:ignore hotpath-alloc panic guard on layout misuse; Sprintf runs only when panicking
 	}
 	// Real layouts interleave over 1-4 DIMMs; keep the cursor array on
 	// the stack so GatherInto stays allocation-free.
@@ -166,7 +166,7 @@ func (l MultiChannelLayout) CompressPage(page []byte, newCodec func(window int) 
 	if window < 1 {
 		window = 1
 	}
-	codec := newCodec(window)
+	codec := newCodec(window) //xfm:ignore hotpath-alloc codec constructor is a configuration seam; codecs reuse pooled scratch, allocs/op pinned by the batch benchmarks
 	out := CompressedLayout{Parts: make([][]byte, len(parts))}
 	for i, p := range parts {
 		out.Parts[i] = codec.Compress(nil, p)
@@ -187,7 +187,7 @@ func (l MultiChannelLayout) DecompressPage(c CompressedLayout, newCodec func(win
 // per-DIMM decompressed parts are staged in pooled scratch, so the
 // only allocation on a warmed path is dst's own growth.
 func (l MultiChannelLayout) DecompressPageInto(dst []byte, c CompressedLayout, newCodec func(window int) compress.Codec, pageBytes int) ([]byte, error) {
-	codec := newCodec(l.WindowBytes(pageBytes))
+	codec := newCodec(l.WindowBytes(pageBytes)) //xfm:ignore hotpath-alloc codec constructor is a configuration seam; codecs reuse pooled scratch, allocs/op pinned by the batch benchmarks
 	s := compress.GetScratch()
 	defer s.Release()
 	parts := s.Parts(len(c.Parts))
@@ -199,7 +199,7 @@ func (l MultiChannelLayout) DecompressPageInto(dst []byte, c CompressedLayout, n
 		parts[i] = out
 	}
 	if len(parts) != l.DIMMs {
-		return dst, fmt.Errorf("xfm: layout has %d DIMMs, compressed page has %d parts", l.DIMMs, len(parts))
+		return dst, fmt.Errorf("xfm: layout has %d DIMMs, compressed page has %d parts", l.DIMMs, len(parts)) //xfm:ignore hotpath-alloc corrupt-page error path, not steady-state
 	}
 	return l.GatherInto(dst, parts), nil
 }
