@@ -52,6 +52,7 @@ var defaultRequiredMetrics = []string{
 	"nma_slot_utilization",
 	"xfm_fallback_rate",
 	"xfm_fallbacks_total",
+	"xfm_degraded_mode",
 }
 
 var defaultRequiredSeries = []string{
@@ -59,6 +60,7 @@ var defaultRequiredSeries = []string{
 	"nma_windows_total",
 	"nma_slot_utilization",
 	"sfm_promotion_rate",
+	"xfm_degraded_mode",
 }
 
 func fail(format string, args ...any) {

@@ -9,6 +9,7 @@
 //	         [-timeseries-out FILE] [-sample-every N] [-sample-wall DUR]
 //	         [-pprof ADDR] [-cpuprofile FILE] [-memprofile FILE]
 //	         [-bench-json DIR] [-nma-stepped]
+//	         [-chaos SPEC] [-seed N] [-chaos-strict]
 //	         [experiment ...]
 //
 // With -bench-json DIR the experiments are skipped; instead the
@@ -20,9 +21,22 @@
 // With -timeseries-out FILE the flight recorder samples the default
 // metric catalogue every -sample-every refresh windows of simulated
 // time and writes the recording (JSON, or CSV when FILE ends in .csv)
-// on exit; telemetryck validates it and xfmtop renders it. Note that
-// -j runs several simulators against one recorder, so only the first
-// simulator to reach a timestamp records it.
+// on exit; telemetryck validates it and xfmtop renders it. Under -j
+// each parallel simulator records into its own sampler and the per-sim
+// rings are merged at dump time, so no simulator's timeline is lost to
+// another's.
+//
+// With -chaos SPEC the experiments are skipped and the deterministic
+// fault-injection gate runs instead: the full seed corpus is swapped
+// through a backend wired to the injected fault plane (NMA stalls,
+// spurious queue-fulls, ECC flips, corrupt streams, refresh storms;
+// see internal/fault) and every page is byte-verified on the way back.
+// SPEC is a preset ("ci-default", "off"), "site=p[:max]" fields,
+// "storm=period:len[:phase]", or "@plan.json"; -seed fixes the
+// schedule (two runs with the same spec and seed are bit-identical,
+// recordings included), and -chaos-strict additionally requires that
+// the run tripped and recovered the circuit breaker and re-served a
+// quarantined page. A lost page always exits nonzero.
 package main
 
 import (
@@ -33,6 +47,7 @@ import (
 	"time"
 
 	"xfm/internal/bench"
+	"xfm/internal/chaos"
 	"xfm/internal/experiments"
 	"xfm/internal/nma"
 	"xfm/internal/telemetry"
@@ -46,6 +61,9 @@ func main() {
 	jobs := flag.Int("j", 0, "experiments to run in parallel (0 = GOMAXPROCS, 1 = serial); tables are identical at any setting")
 	benchJSON := flag.String("bench-json", "", "run the swap-path bench scenarios and write BENCH_*.json artifacts into this directory (skips the experiments)")
 	nmaStepped := flag.Bool("nma-stepped", false, "disable the NMA idle fast-forward and step every refresh window (slow; for proving recordings are identical either way)")
+	chaosSpec := flag.String("chaos", "", "run the fault-injection gate with this chaos spec (preset, site=p[:max] fields, storm=period:len, or @plan.json) instead of the experiments")
+	seed := flag.Int64("seed", 1, "deterministic seed for the -chaos fault schedule and corpus data")
+	chaosStrict := flag.Bool("chaos-strict", false, "with -chaos: also require the run to trip and recover the circuit breaker and re-serve a quarantined page")
 	var tel telemetry.CLI
 	tel.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -58,6 +76,31 @@ func main() {
 	if err := tel.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	// Multi-sim recording: with parallel experiments each simulator
+	// gets its own flight-recorder sampler, merged at dump time.
+	if *jobs != 1 {
+		telemetry.DefaultSampler().SetFanOut(true)
+	}
+
+	if *chaosSpec != "" {
+		res, err := chaos.Run(chaos.Config{Spec: *chaosSpec, Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(res)
+		gateErr := res.Gate(*chaosStrict)
+		if err := tel.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if gateErr != nil {
+			fmt.Fprintln(os.Stderr, gateErr)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *benchJSON != "" {

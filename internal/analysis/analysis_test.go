@@ -154,9 +154,10 @@ func TestDeterminismRule(t *testing.T) {
 // simulator package from the list must be a reviewed, deliberate act.
 func TestDeterminismDefaultPackages(t *testing.T) {
 	want := []string{
-		"xfm/internal/corpus", "xfm/internal/costmodel", "xfm/internal/dram",
-		"xfm/internal/experiments", "xfm/internal/memctrl", "xfm/internal/nma",
-		"xfm/internal/sfm", "xfm/internal/workload", "xfm/internal/xfm",
+		"xfm/internal/chaos", "xfm/internal/corpus", "xfm/internal/costmodel",
+		"xfm/internal/dram", "xfm/internal/experiments", "xfm/internal/fault",
+		"xfm/internal/memctrl", "xfm/internal/nma", "xfm/internal/sfm",
+		"xfm/internal/workload", "xfm/internal/xfm",
 	}
 	got := append([]string(nil), DefaultDeterminismPackages...)
 	sort.Strings(got)

@@ -23,6 +23,10 @@ var DefaultDeterminismPackages = []string{
 	"xfm/internal/workload",
 	"xfm/internal/corpus",
 	"xfm/internal/costmodel",
+	// The fault plane and the chaos gate promise bit-reproducible runs
+	// for a fixed spec and seed, the same bar as the simulator stack.
+	"xfm/internal/fault",
+	"xfm/internal/chaos",
 }
 
 // globalRandFuncs are the math/rand package-level functions that draw

@@ -46,7 +46,7 @@ func (telemetryContractRule) Name() string { return RuleTelemetryContract }
 
 // metricNameRE is the module's metric naming convention: a known layer
 // prefix, then lower_snake.
-var metricNameRE = regexp.MustCompile(`^(xfm|sfm|nma|dram|memctrl|parallel|telemetry|bench)_[a-z0-9_]+$`)
+var metricNameRE = regexp.MustCompile(`^(xfm|sfm|nma|dram|memctrl|parallel|telemetry|bench|fault)_[a-z0-9_]+$`)
 
 // registrationFuncs are the internal/telemetry constructors whose
 // first argument is a metric name being registered.

@@ -1,0 +1,239 @@
+// Package chaos is the fault-injection gate: it drives the full seed
+// corpus through an XFM backend wired to a deterministic fault.Injector
+// and verifies zero data loss end to end. Every page swapped out must
+// come back byte-identical despite injected NMA stalls, spurious
+// queue-fulls, ECC bit flips, corrupt compressed streams, and refresh
+// storms — the injected faults exercise retry-once, the circuit
+// breaker's CPU_ONLY trip and canary recovery, and the ECC quarantine's
+// staging re-serves (DESIGN §10).
+//
+// Runs are bit-reproducible: for a fixed spec and seed two runs produce
+// identical Results and identical flight-recorder dumps, which CI
+// checks with telemetryck -diff.
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+
+	"xfm/internal/compress"
+	"xfm/internal/corpus"
+	"xfm/internal/dram"
+	"xfm/internal/fault"
+	"xfm/internal/memctrl"
+	"xfm/internal/nma"
+	"xfm/internal/sfm"
+	"xfm/internal/xfm"
+)
+
+// Config parameterizes one chaos run.
+type Config struct {
+	// Spec is the fault schedule in fault.ParseSpec grammar (a preset
+	// like "ci-default", site=p[:max] fields, storm=period:len, or
+	// @file.json).
+	Spec string
+	// Seed seeds both the injector and the corpus generators.
+	Seed int64
+	// PagesPerCorpus is how many 4 KiB pages of each corpus to swap
+	// (default 64).
+	PagesPerCorpus int
+	// BatchPages is the batch size for the batched swap paths
+	// (default 16). The final short batch of a corpus retries any
+	// corrupt-stream failures through the serial path, so both paths
+	// are exercised.
+	BatchPages int
+	// Policy overrides the breaker policy (nil uses GatePolicy).
+	Policy *xfm.DegradePolicy
+}
+
+// GatePolicy is the breaker policy the CI gate runs with: small enough
+// windows that the ci-default preset's budgeted stall outage trips the
+// breaker and the canaries close it again well within one run.
+func GatePolicy() xfm.DegradePolicy {
+	return xfm.DegradePolicy{
+		Window:          16,
+		TripFailures:    4,
+		DegradeFailures: 2,
+		ReprobeAfter:    8,
+		CanarySuccesses: 3,
+		RetryOnce:       true,
+	}
+}
+
+// Result summarizes one chaos run. All fields are deterministic for a
+// fixed Config.
+type Result struct {
+	Corpora, Pages int
+	// Mismatches counts pages that came back wrong or not at all — the
+	// gate's zero-data-loss invariant is Mismatches == 0.
+	Mismatches int
+	// Retries counts corrupt-stream swap-in failures that succeeded on
+	// the per-page retry.
+	Retries           int
+	Trips, Recoveries int64
+	Quarantined       int
+	Served            int64
+	Injected          [fault.NumSites]int64
+	StormWindows      int64
+	FinalMode         xfm.Mode
+	// Errors holds the first few verification failures, for the report.
+	Errors []string
+}
+
+// String renders the run report.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "chaos: %d corpora, %d pages, %d mismatches, %d corrupt-stream retries\n",
+		r.Corpora, r.Pages, r.Mismatches, r.Retries)
+	fmt.Fprintf(&sb, "chaos: breaker trips=%d recoveries=%d, quarantined=%d pages (%d re-serves), final mode %s\n",
+		r.Trips, r.Recoveries, r.Quarantined, r.Served, r.FinalMode)
+	fmt.Fprintf(&sb, "chaos: injected")
+	for s := fault.Site(0); s < fault.NumSites; s++ {
+		if s == fault.SiteRefreshStorm {
+			continue
+		}
+		fmt.Fprintf(&sb, " %s=%d", s, r.Injected[s])
+	}
+	fmt.Fprintf(&sb, " storm-windows=%d\n", r.StormWindows)
+	for _, e := range r.Errors {
+		fmt.Fprintf(&sb, "chaos: FAIL %s\n", e)
+	}
+	return sb.String()
+}
+
+// Gate checks the run against the chaos gate. Zero data loss is always
+// required; strict additionally requires that the run actually
+// exercised the degradation machinery — the breaker tripped and
+// recovered, at least one quarantined page was re-served from staging,
+// at least one corrupt stream was injected, and the backend ended
+// healthy — so a quietly inert injector cannot pass CI.
+func (r *Result) Gate(strict bool) error {
+	if r.Mismatches > 0 {
+		return fmt.Errorf("chaos: %d of %d pages lost or corrupted", r.Mismatches, r.Pages)
+	}
+	if !strict {
+		return nil
+	}
+	switch {
+	case r.Trips < 1:
+		return errors.New("chaos: strict gate: breaker never tripped")
+	case r.Recoveries < 1:
+		return errors.New("chaos: strict gate: breaker never recovered")
+	case r.Served < 1:
+		return errors.New("chaos: strict gate: no quarantined page was re-served from staging")
+	case r.Injected[fault.SiteCorruptStream] < 1:
+		return errors.New("chaos: strict gate: no corrupt stream was injected")
+	case r.FinalMode != xfm.ModeHealthy:
+		return fmt.Errorf("chaos: strict gate: final mode %s, want HEALTHY", r.FinalMode)
+	}
+	return nil
+}
+
+// Run executes one chaos run: every corpus is generated, swapped out
+// through the batched path, aged a few refresh windows, swapped back in
+// and byte-verified against the original. Swap-ins that fail with an
+// injected compress.ErrCorrupt are retried once through the serial path
+// (the injector corrupts each unique stream only once, so the retry
+// must succeed).
+func Run(cfg Config) (*Result, error) {
+	if cfg.PagesPerCorpus <= 0 {
+		cfg.PagesPerCorpus = 64
+	}
+	if cfg.BatchPages <= 0 {
+		cfg.BatchPages = 16
+	}
+	plan, err := fault.ParseSpec(cfg.Spec, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	inj := fault.NewInjector(plan)
+
+	sim := nma.NewSim(nma.DefaultConfig(dram.Device32Gb))
+	drv := xfm.NewDriver(sim)
+	m := memctrl.SkylakeMapping(4, 2, dram.Device32Gb)
+	b, err := xfm.NewShardedBackend(fault.WrapCodec(compress.NewLZFast(), inj), 1<<30, 4, 0, drv, m)
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close()
+	b.SetInjector(inj)
+	pol := GatePolicy()
+	if cfg.Policy != nil {
+		pol = *cfg.Policy
+	}
+	b.EnableDegradation(pol)
+
+	servedBefore := xfm.QuarantineServed()
+	res := &Result{}
+	trefi := sim.Config().Timings.TREFI
+	now := dram.Ps(0)
+	nextID := sfm.PageID(0)
+	for _, name := range corpus.Names() {
+		gen, err := corpus.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		pages := corpus.Pages(gen(cfg.Seed, cfg.PagesPerCorpus*sfm.PageSize), sfm.PageSize)
+		for start := 0; start < len(pages); start += cfg.BatchPages {
+			end := start + cfg.BatchPages
+			if end > len(pages) {
+				end = len(pages)
+			}
+			batch := pages[start:end]
+			outs := make([]sfm.PageOut, len(batch))
+			ins := make([]sfm.PageIn, len(batch))
+			for i, p := range batch {
+				id := nextID
+				nextID++
+				outs[i] = sfm.PageOut{ID: id, Data: p}
+				ins[i] = sfm.PageIn{ID: id, Dst: make([]byte, sfm.PageSize)}
+			}
+			now += trefi
+			for i, err := range b.SwapOutBatch(now, outs) {
+				if err != nil {
+					res.fail("corpus %s page %d: swap-out: %v", name, start+i, err)
+				}
+			}
+			// Age the batch a few windows so storms pass over resident
+			// pages and the NMA queue drains.
+			now += 4 * trefi
+			for i, err := range b.SwapInBatch(now, ins, true) {
+				res.Pages++
+				if err != nil && errors.Is(err, compress.ErrCorrupt) {
+					// Transient injected corruption: the stream is intact
+					// in the store, a retry must decode it.
+					res.Retries++
+					err = b.SwapIn(now, ins[i].ID, ins[i].Dst, true)
+				}
+				if err != nil {
+					res.fail("corpus %s page %d: swap-in: %v", name, start+i, err)
+					continue
+				}
+				if !bytes.Equal(ins[i].Dst, batch[i]) {
+					res.fail("corpus %s page %d: data mismatch after swap-in", name, start+i)
+				}
+			}
+		}
+		res.Corpora++
+	}
+
+	res.Trips, res.Recoveries = b.BreakerStats()
+	res.Quarantined = b.QuarantinedPages()
+	res.Served = xfm.QuarantineServed() - servedBefore
+	for s := fault.Site(0); s < fault.NumSites; s++ {
+		res.Injected[s] = inj.Injected(s)
+	}
+	res.StormWindows = sim.Stats().StormWindows
+	res.FinalMode = b.Mode()
+	return res, nil
+}
+
+// fail records one verification failure (the report keeps the first 8).
+func (r *Result) fail(format string, args ...any) {
+	r.Mismatches++
+	if len(r.Errors) < 8 {
+		r.Errors = append(r.Errors, fmt.Sprintf(format, args...))
+	}
+}

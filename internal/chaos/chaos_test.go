@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"xfm/internal/fault"
+	"xfm/internal/xfm"
+)
+
+func TestCIDefaultPassesStrictGate(t *testing.T) {
+	res, err := Run(Config{Spec: "ci-default", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if err := res.Gate(true); err != nil {
+		t.Fatal(err)
+	}
+	if res.Pages == 0 || res.Corpora == 0 {
+		t.Fatalf("empty run: %+v", res)
+	}
+	if res.StormWindows == 0 {
+		t.Fatal("ci-default scheduled storms but none were counted")
+	}
+	if res.Injected[fault.SiteECCMulti] == 0 || res.Quarantined == 0 {
+		t.Fatalf("no ECC quarantines exercised: %+v", res)
+	}
+}
+
+func TestRunsAreBitReproducible(t *testing.T) {
+	a, err := Run(Config{Spec: "ci-default", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Spec: "ci-default", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed runs diverge:\n%+v\n%+v", a, b)
+	}
+	c, err := Run(Config{Spec: "ci-default", Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical results — injector ignores the seed")
+	}
+}
+
+func TestOffSpecIsLossless(t *testing.T) {
+	res, err := Run(Config{Spec: "off", Seed: 1, PagesPerCorpus: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Gate(false); err != nil {
+		t.Fatal(err)
+	}
+	var injected int64
+	for s := fault.Site(0); s < fault.NumSites; s++ {
+		injected += res.Injected[s]
+	}
+	if injected != 0 || res.Retries != 0 || res.Trips != 0 {
+		t.Fatalf("off spec injected faults: %+v", res)
+	}
+	// And strict mode must reject the inert run.
+	if res.Gate(true) == nil {
+		t.Fatal("strict gate passed without any injected faults")
+	}
+}
+
+func TestGateRejectsLoss(t *testing.T) {
+	r := &Result{Pages: 10, Mismatches: 1, Trips: 1, Recoveries: 1, Served: 1, FinalMode: xfm.ModeHealthy}
+	r.Injected[fault.SiteCorruptStream] = 1
+	if r.Gate(false) == nil || r.Gate(true) == nil {
+		t.Fatal("gate accepted data loss")
+	}
+}

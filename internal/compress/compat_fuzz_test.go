@@ -173,6 +173,27 @@ func FuzzDecodersAgreeOnGarbage(f *testing.F) {
 	f.Add([]byte{0xff, 0xff, 0xff})
 	f.Add(NewLZFast().Compress(nil, []byte("seed")))
 	f.Add(NewXDeflate().Compress(nil, []byte("seed seed seed")))
+	// Truncated valid streams: the highest-value garbage is a real
+	// stream cut mid-structure (header, token boundary, Huffman table),
+	// the exact shape a torn far-memory read produces. The exhaustive
+	// all-prefix sweep lives in truncation_test.go; these seeds steer
+	// the fuzzer's mutations into the same territory.
+	for _, in := range [][]byte{
+		[]byte("truncation seed truncation seed"),
+		bytes.Repeat([]byte{0}, 4096),
+		corpus.KeyValue(11, 4096),
+	} {
+		for _, codec := range []Codec{NewLZFast(), NewXDeflate()} {
+			stream := codec.Compress(nil, in)
+			for _, frac := range []int{1, 2, 4} {
+				cut := len(stream) / (frac * 2)
+				f.Add(stream[:cut:cut])
+			}
+			if len(stream) > 0 {
+				f.Add(stream[: len(stream)-1 : len(stream)-1])
+			}
+		}
+	}
 	lz, refLz := NewLZFast(), newRefLZFast()
 	xd, refXd := NewXDeflate(), newRefXDeflate()
 	f.Fuzz(func(t *testing.T, in []byte) {

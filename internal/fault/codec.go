@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"fmt"
+
+	"xfm/internal/compress"
+)
+
+// errInjectedCorrupt is the static error a chaos codec returns for a
+// transiently failed decode; it unwraps to compress.ErrCorrupt so
+// callers classify it like any real corruption.
+var errInjectedCorrupt = fmt.Errorf("fault: injected corrupt stream: %w", compress.ErrCorrupt)
+
+// chaosCodec decorates a Codec with SiteCorruptStream injection on the
+// decompress path. Compression is passed through untouched — corrupting
+// what gets *stored* would be unrecoverable data loss by construction,
+// which is not a scenario the degradation machinery can or should
+// survive. Instead, a hit on a stream does two things:
+//
+//  1. Robustness exercise: a copy of the stream with one bit flipped is
+//     fed to the inner decoder into scratch space. The decoder must
+//     return (anything, error) or plausible garbage — never panic or
+//     read past the slice — mirroring the truncation/garbage fuzz
+//     contract.
+//  2. Transient failure: the real decode reports errInjectedCorrupt
+//     exactly once per unique stream. The SFM store restores the entry
+//     on a failed decompress (commitIn), so the caller retries and the
+//     second decode — same stream, same key, already fired — succeeds.
+//
+// The event key is a content hash of the stream (HashBytes), so the
+// fire set is independent of the order parallel decompressors run in.
+type chaosCodec struct {
+	inner compress.Codec
+	inj   *Injector
+}
+
+// WrapCodec returns codec c with corrupt-stream injection from in; it
+// returns c unchanged when in is nil.
+func WrapCodec(c compress.Codec, in *Injector) compress.Codec {
+	if in == nil {
+		return c
+	}
+	return &chaosCodec{inner: c, inj: in}
+}
+
+func (c *chaosCodec) Name() string { return c.inner.Name() }
+
+func (c *chaosCodec) Compress(dst, src []byte) []byte {
+	return c.inner.Compress(dst, src)
+}
+
+func (c *chaosCodec) MaxCompressedLen(n int) int {
+	return c.inner.MaxCompressedLen(n)
+}
+
+func (c *chaosCodec) Info() compress.CodecInfo { return c.inner.Info() }
+
+func (c *chaosCodec) Decompress(dst, src []byte) ([]byte, error) {
+	if len(src) > 0 && c.inj.OnceHit(SiteCorruptStream, HashBytes(src)) {
+		bad := make([]byte, len(src))
+		copy(bad, src)
+		h := splitmix64(HashBytes(src))
+		bad[h%uint64(len(bad))] ^= byte(1 << ((h >> 32) % 8))
+		// The flip may land in literal bytes and decode "successfully"
+		// to different output — that is fine; the contract under test
+		// is only that the decoder never panics or over-reads. The
+		// three-index slice pins cap to len so any over-read would
+		// panic here rather than silently succeed.
+		c.inner.Decompress(nil, bad[:len(bad):len(bad)]) //nolint:errcheck
+		return nil, errInjectedCorrupt
+	}
+	return c.inner.Decompress(dst, src)
+}

@@ -1,0 +1,227 @@
+// Package fault is the deterministic fault-injection plane for the XFM
+// emulator: a seeded Plan schedules NMA op stalls, spurious queue-full
+// rejections, ECC bit flips on stored pages, corrupt compressed
+// streams, and refresh-storm windows (the RogueRFM shape) at sim-time
+// points, and an Injector answers "does this event fire here?" with a
+// pure function of (plan seed, injection site, event key).
+//
+// Determinism is the load-bearing property. Every draw is a splitmix64
+// hash of a per-site sub-seed (derived once from the plan seed via
+// rand.New(rand.NewSource(seed))) and a caller-chosen event key — a
+// submission sequence number, a page ID, a stream hash, a window
+// index. Because the draw depends only on (site, key), concurrent
+// callers can present keys in any order and still see the same
+// per-event decisions, so a chaos run records bit-identical telemetry
+// across repeats (CI diffs two same-seed runs with telemetryck -diff).
+// The only order-sensitive state is the per-site budget counter, which
+// must therefore only guard sites drawn on serial paths.
+//
+// All Injector methods are safe on a nil receiver and return "no
+// fault", so production code threads an injector through
+// unconditionally and pays one nil check when chaos is off.
+package fault
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"xfm/internal/telemetry"
+)
+
+// Site identifies one injection point in the stack.
+type Site int
+
+const (
+	// SiteNMAStall makes Driver.Submit report a per-op deadline
+	// violation (ErrOpTimeout): the accelerator accepted the MMIO
+	// doorbell but never completed the op in time.
+	SiteNMAStall Site = iota
+	// SiteQueueFull makes Driver.Submit report a spuriously full
+	// Compress_Request_Queue even though the simulator has room.
+	SiteQueueFull
+	// SiteECCSingle flips one bit in a page image read back from far
+	// memory, before side-band ECC verification (correctable).
+	SiteECCSingle
+	// SiteECCMulti flips two bits in one 64-bit word of a page image
+	// read back from far memory (uncorrectable under SECDED).
+	SiteECCMulti
+	// SiteCorruptStream hands a corrupted compressed stream to the
+	// decompressor (which must error, never panic or over-read) and
+	// fails the first real decode of that stream transiently.
+	SiteCorruptStream
+	// SiteRefreshStorm marks whole refresh windows in which refresh
+	// management owns the DRAM and the NMA is offered zero slots.
+	SiteRefreshStorm
+	// NumSites is the number of injection sites.
+	NumSites
+)
+
+// String returns the spec-grammar name of the site.
+func (s Site) String() string {
+	switch s {
+	case SiteNMAStall:
+		return "nma-stall"
+	case SiteQueueFull:
+		return "queue-full"
+	case SiteECCSingle:
+		return "ecc-single"
+	case SiteECCMulti:
+		return "ecc-multi"
+	case SiteCorruptStream:
+		return "corrupt-stream"
+	case SiteRefreshStorm:
+		return "refresh-storm"
+	}
+	return "unknown"
+}
+
+// Injector evaluates a Plan. One injector serves one chaos run; its
+// methods are concurrency-safe and deterministic in the sense described
+// in the package comment.
+type Injector struct {
+	plan  Plan
+	seeds [NumSites]uint64
+	// drawn counts probability passes (budget accounting); injected
+	// counts faults actually fired.
+	drawn    [NumSites]atomic.Int64
+	injected [NumSites]atomic.Int64
+	counts   [NumSites]*telemetry.Counter
+
+	mu   sync.Mutex
+	once map[uint64]struct{} // keys already fired by OnceHit
+}
+
+// NewInjector builds an injector for the plan. Per-site sub-seeds are
+// drawn here, once, from rand.New(rand.NewSource(plan.Seed)); after
+// construction no injector state depends on call order except budgets.
+func NewInjector(p Plan) *Injector {
+	p.normalize()
+	in := &Injector{plan: p, once: make(map[uint64]struct{})}
+	rng := rand.New(rand.NewSource(p.Seed))
+	for i := Site(0); i < NumSites; i++ {
+		in.seeds[i] = rng.Uint64()
+		in.counts[i] = mInjected.With(i.String())
+	}
+	return in
+}
+
+// Plan returns a copy of the normalized plan the injector evaluates.
+func (in *Injector) Plan() Plan {
+	if in == nil {
+		return Plan{}
+	}
+	return in.plan
+}
+
+// Hit reports whether the fault at site fires for the event identified
+// by key, and records the injection when it does. The decision is a
+// pure function of (plan, site, key) unless the site carries a budget,
+// in which case draws are additionally capped in call order — budgeted
+// sites must only be drawn on serial paths or determinism is lost.
+func (in *Injector) Hit(site Site, key uint64) bool {
+	if in == nil {
+		return false
+	}
+	p := in.plan.Probs[site]
+	if p <= 0 {
+		return false
+	}
+	if p < 1 && unit(splitmix64(in.seeds[site]^key)) >= p {
+		return false
+	}
+	if max := in.plan.Budgets[site]; max > 0 {
+		if in.drawn[site].Add(1) > max {
+			return false
+		}
+	} else {
+		in.drawn[site].Add(1)
+	}
+	in.injected[site].Add(1)
+	in.counts[site].Inc()
+	return true
+}
+
+// OnceHit is Hit restricted to the first occurrence of each key: a key
+// that fires never fires again. The set of firing keys is a pure
+// function of (plan, site, key) — the first-occurrence filter only
+// deduplicates, so concurrent callers racing on the same key still
+// produce a deterministic total. Budgets are ignored (once-sites are
+// self-limiting per key).
+func (in *Injector) OnceHit(site Site, key uint64) bool {
+	if in == nil {
+		return false
+	}
+	p := in.plan.Probs[site]
+	if p <= 0 {
+		return false
+	}
+	if p < 1 && unit(splitmix64(in.seeds[site]^key)) >= p {
+		return false
+	}
+	in.mu.Lock()
+	if _, dup := in.once[key]; dup {
+		in.mu.Unlock()
+		return false
+	}
+	in.once[key] = struct{}{}
+	in.mu.Unlock()
+	in.injected[site].Add(1)
+	in.counts[site].Inc()
+	return true
+}
+
+// Injected returns how many faults have fired at site so far.
+func (in *Injector) Injected(site Site) int64 {
+	if in == nil {
+		return 0
+	}
+	return in.injected[site].Load()
+}
+
+// StormWindow reports whether refresh window w falls inside a scheduled
+// refresh storm. Storm windows are counted by the NMA sim (which owns
+// the window clock), not here, so stepped and fast-forwarded runs
+// account them identically.
+func (in *Injector) StormWindow(w int64) bool {
+	if in == nil {
+		return false
+	}
+	return in.plan.Storm.active(w)
+}
+
+// StormWindowsIn counts storm windows in [lo, hi) arithmetically, so
+// the NMA's idle fast-forward can account for skipped storms without
+// stepping them (the FF ≡ stepped CI invariant).
+func (in *Injector) StormWindowsIn(lo, hi int64) int64 {
+	if in == nil {
+		return 0
+	}
+	return in.plan.Storm.countIn(lo, hi)
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche over
+// uint64, the standard cheap stateless hash for seeded draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a 64-bit hash onto [0, 1) with 53-bit resolution.
+func unit(x uint64) float64 {
+	return float64(x>>11) / (1 << 53)
+}
+
+// HashBytes is FNV-1a over b: the event key for content-addressed
+// sites (corrupt compressed streams), so the draw is independent of
+// the order concurrent decompressors present streams in.
+func HashBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return h
+}

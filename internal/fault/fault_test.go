@@ -1,0 +1,256 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xfm/internal/compress"
+)
+
+func TestParseSpecFields(t *testing.T) {
+	p, err := ParseSpec("nma-stall=0.2,ecc-multi=1:8,storm=4096:512:64", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 {
+		t.Fatalf("seed = %d, want 7", p.Seed)
+	}
+	if p.Probs[SiteNMAStall] != 0.2 || p.Probs[SiteECCMulti] != 1 {
+		t.Fatalf("probs = %v", p.Probs)
+	}
+	if p.Budgets[SiteECCMulti] != 8 || p.Budgets[SiteNMAStall] != 0 {
+		t.Fatalf("budgets = %v", p.Budgets)
+	}
+	if p.Storm != (StormSpec{Period: 4096, Len: 512, Phase: 64}) {
+		t.Fatalf("storm = %+v", p.Storm)
+	}
+	if !p.Enabled() {
+		t.Fatal("plan should be enabled")
+	}
+}
+
+func TestParseSpecPresetAndOverride(t *testing.T) {
+	base, err := ParseSpec("ci-default", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Enabled() || base.Probs[SiteCorruptStream] <= 0 || base.Storm.Period <= 0 {
+		t.Fatalf("ci-default not fully populated: %+v", base)
+	}
+	over, err := ParseSpec("ci-default,corrupt-stream=0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Probs[SiteCorruptStream] != 0 {
+		t.Fatal("override did not apply")
+	}
+	if over.Probs[SiteNMAStall] != base.Probs[SiteNMAStall] {
+		t.Fatal("override clobbered unrelated site")
+	}
+	off, err := ParseSpec("off", 1)
+	if err != nil || off.Enabled() {
+		t.Fatalf("off preset: %+v, %v", off, err)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "bogus-preset", "nma-stall=1.5", "nma-stall=x",
+		"unknown-site=0.5", "storm=12", "storm=a:b",
+		"refresh-storm=0.5", "nma-stall=0.5,ci-default",
+		"nma-stall=0.5:-2",
+	} {
+		if _, err := ParseSpec(spec, 1); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParseSpecJSONFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	body := `{"seed": 42,
+		"sites": {"nma-stall": {"p": 0.25, "max": 3}, "ecc-single": {"p": 1}},
+		"storm": {"period": 1024, "len": 128}}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseSpec("@"+path, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 {
+		t.Fatalf("file seed should win: got %d", p.Seed)
+	}
+	if p.Probs[SiteNMAStall] != 0.25 || p.Budgets[SiteNMAStall] != 3 || p.Probs[SiteECCSingle] != 1 {
+		t.Fatalf("sites mis-parsed: %+v", p)
+	}
+	if p.Storm.Period != 1024 || p.Storm.Len != 128 {
+		t.Fatalf("storm mis-parsed: %+v", p.Storm)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"sites": {"nope": {"p": 1}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSpec("@"+bad, 1); err == nil {
+		t.Fatal("unknown site in JSON plan accepted")
+	}
+}
+
+func TestHitDeterministicAndOrderIndependent(t *testing.T) {
+	plan, err := ParseSpec("nma-stall=0.3", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewInjector(plan), NewInjector(plan)
+	const n = 4096
+	fireA := make([]bool, n)
+	for k := 0; k < n; k++ {
+		fireA[k] = a.Hit(SiteNMAStall, uint64(k))
+	}
+	// Same plan, keys drawn in reverse order: identical per-key result.
+	for k := n - 1; k >= 0; k-- {
+		if got := b.Hit(SiteNMAStall, uint64(k)); got != fireA[k] {
+			t.Fatalf("key %d: order-dependent decision", k)
+		}
+	}
+	fired := 0
+	for _, f := range fireA {
+		if f {
+			fired++
+		}
+	}
+	if fired < n/5 || fired > n/2 {
+		t.Fatalf("p=0.3 fired %d/%d times", fired, n)
+	}
+	if a.Injected(SiteNMAStall) != int64(fired) {
+		t.Fatalf("Injected = %d, want %d", a.Injected(SiteNMAStall), fired)
+	}
+	// A different seed produces a different fire set.
+	plan2 := plan
+	plan2.Seed = 100
+	c := NewInjector(plan2)
+	same := 0
+	for k := 0; k < n; k++ {
+		if c.Hit(SiteNMAStall, uint64(k)) == fireA[k] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("seed change did not move the fire set")
+	}
+}
+
+func TestHitBudget(t *testing.T) {
+	plan, err := ParseSpec("ecc-multi=1:5", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(plan)
+	fired := 0
+	for k := 0; k < 100; k++ {
+		if in.Hit(SiteECCMulti, uint64(k)) {
+			fired++
+		}
+	}
+	if fired != 5 {
+		t.Fatalf("budget 5, fired %d", fired)
+	}
+}
+
+func TestOnceHitFiresOncePerKey(t *testing.T) {
+	plan, err := ParseSpec("corrupt-stream=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(plan)
+	if !in.OnceHit(SiteCorruptStream, 7) {
+		t.Fatal("first occurrence should fire at p=1")
+	}
+	for i := 0; i < 3; i++ {
+		if in.OnceHit(SiteCorruptStream, 7) {
+			t.Fatal("repeat occurrence fired")
+		}
+	}
+	if !in.OnceHit(SiteCorruptStream, 8) {
+		t.Fatal("distinct key should fire")
+	}
+	if got := in.Injected(SiteCorruptStream); got != 2 {
+		t.Fatalf("Injected = %d, want 2", got)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Hit(SiteNMAStall, 1) || in.OnceHit(SiteCorruptStream, 1) || in.StormWindow(0) {
+		t.Fatal("nil injector fired")
+	}
+	if in.StormWindowsIn(0, 100) != 0 || in.Injected(SiteNMAStall) != 0 {
+		t.Fatal("nil injector counted")
+	}
+	if in.Plan().Enabled() {
+		t.Fatal("nil injector plan enabled")
+	}
+}
+
+func TestStormCountMatchesActive(t *testing.T) {
+	specs := []StormSpec{
+		{Period: 8, Len: 3},
+		{Period: 8, Len: 3, Phase: 5},
+		{Period: 7, Len: 7},
+		{Period: 4, Len: 9}, // Len > Period clamps to always-on
+		{Period: 0, Len: 3},
+		{Period: 8, Len: 0},
+	}
+	ranges := [][2]int64{{0, 1}, {0, 64}, {3, 40}, {17, 17}, {5, 6}, {63, 64}, {0, 3}}
+	for _, spec := range specs {
+		p := Plan{Seed: 1, Storm: spec}
+		in := NewInjector(p)
+		norm := in.Plan().Storm
+		for _, r := range ranges {
+			want := int64(0)
+			for w := r[0]; w < r[1]; w++ {
+				if norm.active(w) {
+					want++
+				}
+			}
+			if got := in.StormWindowsIn(r[0], r[1]); got != want {
+				t.Fatalf("storm %+v range %v: countIn = %d, want %d", spec, r, got, want)
+			}
+		}
+	}
+}
+
+func TestWrapCodecTransientCorrupt(t *testing.T) {
+	plan, err := ParseSpec("corrupt-stream=1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(plan)
+	inner := compress.NewLZFast()
+	c := WrapCodec(inner, in)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	stream := c.Compress(nil, src)
+	if _, err := c.Decompress(nil, stream); !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("first decode: err = %v, want injected ErrCorrupt", err)
+	}
+	out, err := c.Decompress(nil, stream)
+	if err != nil {
+		t.Fatalf("second decode of the same stream should pass: %v", err)
+	}
+	if string(out) != string(src) {
+		t.Fatal("second decode corrupted data")
+	}
+	if in.Injected(SiteCorruptStream) != 1 {
+		t.Fatalf("Injected = %d, want 1", in.Injected(SiteCorruptStream))
+	}
+	// Nil injector: wrapper elides itself.
+	if WrapCodec(inner, nil) != compress.Codec(inner) {
+		t.Fatal("WrapCodec(nil) should return the inner codec")
+	}
+}

@@ -1,0 +1,10 @@
+package fault
+
+import "xfm/internal/telemetry"
+
+// Process-wide chaos metrics. One counter family, labeled by injection
+// site; the per-site children are cached on each Injector at
+// construction so the hot submit path never does a label lookup.
+var mInjected = telemetry.NewCounterVec("fault_injected_total",
+	"Faults fired by the chaos injection plane, by injection site.",
+	"site")

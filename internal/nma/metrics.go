@@ -32,6 +32,8 @@ var (
 		"Current Compress_Request_Queue depth (last stepped window).")
 	gSPMUsed = telemetry.NewGauge("nma_spm_used_bytes",
 		"Current ScratchPad Memory occupancy in bytes (last stepped window).")
+	mStormWindows = telemetry.NewCounter("nma_storm_windows_total",
+		"Refresh windows starved by an injected refresh storm (zero slots offered).")
 )
 
 func init() {

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"xfm/internal/dram"
+	"xfm/internal/fault"
 	"xfm/internal/telemetry"
 )
 
@@ -234,6 +235,10 @@ type Stats struct {
 	// since useful computation occurs within the DRAM rank during an
 	// all-bank refresh".
 	BusyWindows int64
+	// StormWindows counts refresh windows starved by an injected
+	// refresh storm (the RogueRFM denial-of-service shape): refresh
+	// management owned the DRAM and the NMA was offered zero slots.
+	StormWindows int64
 }
 
 // FallbackRate returns fallbacks / submitted.
@@ -339,6 +344,13 @@ type Sim struct {
 	// Sampler.SimTickRange, which lands samples on exactly the same
 	// timestamps with exactly the same counter values.
 	sampler *telemetry.Sampler
+
+	// Fault injection (nil unless a chaos plan is armed): the injector
+	// schedules refresh-storm windows in which refresh management owns
+	// the DRAM and the side channel offers zero access slots. All
+	// injector methods are nil-safe, so the default path pays one nil
+	// check per window.
+	inj *fault.Injector
 }
 
 // windowAccess remembers one access performed in the current window so
@@ -364,7 +376,10 @@ func NewSim(cfg Config) *Sim {
 		completedByGroup: make([]refFIFO, groups+1),
 		tracer:           telemetry.DefaultTracer(),
 		track:            -1,
-		sampler:          telemetry.DefaultSampler(),
+		// SimSampler is the default recorder itself in single-sim runs
+		// and a private per-sim child when fan-out is on (xfmbench -j),
+		// so parallel sims stop losing samples to first-writer-wins.
+		sampler: telemetry.DefaultSampler().SimSampler(),
 	}
 	s.bulkAdvance = s.advanceIdle
 	return s
@@ -382,6 +397,10 @@ func (s *Sim) SetTracer(tr *telemetry.Tracer) {
 // disconnects this sim from the recorder); tests inject private
 // samplers here. Sims default to telemetry.DefaultSampler.
 func (s *Sim) SetSampler(smp *telemetry.Sampler) { s.sampler = smp }
+
+// SetInjector arms fault injection on this sim (nil disarms): the
+// injector's storm schedule starves refresh windows of access slots.
+func (s *Sim) SetInjector(in *fault.Injector) { s.inj = in }
 
 // Config returns the simulator's configuration.
 func (s *Sim) Config() Config { return s.cfg }
@@ -474,6 +493,15 @@ func (s *Sim) StepWindow() int {
 	now := s.Now()
 	cond := s.cfg.AccessesPerTRFC
 	rand := s.cfg.RandomPerTRFC
+	if s.inj.StormWindow(s.window) {
+		// Injected refresh storm (the RogueRFM shape): refresh
+		// management owns the whole tRFC, the side channel offers zero
+		// access slots, and queued work simply ages one window.
+		cond, rand = 0, 0
+		s.stats.StormWindows++
+		mStormWindows.Inc()
+	}
+	condBudget, randBudget := cond, rand
 	s.traceOn = s.tracer != nil && s.tracer.Enabled()
 	if s.traceOn {
 		s.winAcc = s.winAcc[:0]
@@ -566,14 +594,14 @@ func (s *Sim) StepWindow() int {
 	if s.spmUsed > s.stats.MaxSPMOccupancy {
 		s.stats.MaxSPMOccupancy = s.spmUsed
 	}
-	condDone := s.cfg.AccessesPerTRFC - cond
-	randDone := s.cfg.RandomPerTRFC - rand
+	condDone := condBudget - cond
+	randDone := randBudget - rand
 	if condDone+randDone > 0 {
 		s.stats.BusyWindows++
 		mBusyWindows.Inc()
 	}
 	mWindows.Inc()
-	mSlotsOffered.Add(int64(s.cfg.AccessesPerTRFC + s.cfg.RandomPerTRFC))
+	mSlotsOffered.Add(int64(condBudget + randBudget))
 	mCondAccesses.Add(int64(condDone))
 	mRandAccesses.Add(int64(randDone))
 	gQueueDepth.SetInt(int64(s.queuedCount))
@@ -655,8 +683,17 @@ func (s *Sim) advanceIdle(k int64) {
 	if k <= 0 {
 		return
 	}
+	// Storm windows inside the skipped range offered zero slots; count
+	// them arithmetically so a fast-forwarded run publishes exactly the
+	// totals a stepped run would (skipping is already restricted to
+	// windows that perform no accesses, storm or not).
+	storms := s.inj.StormWindowsIn(s.window, s.window+k)
+	if storms > 0 {
+		s.stats.StormWindows += storms
+		mStormWindows.Add(storms)
+	}
 	mWindows.Add(k)
-	mSlotsOffered.Add(k * s.slotsPerWin)
+	mSlotsOffered.Add((k - storms) * s.slotsPerWin)
 	s.stats.Windows += k
 	s.window += k
 }

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Multi-sim recording: with fan-out enabled every simulator gets a
+// private child sampler and Dump merges the per-sim rings, so no
+// sample is lost to another sim's first-writer-wins timestamp.
+
+func TestSimSamplerWithoutFanOutIsSelf(t *testing.T) {
+	p := NewSampler(NewRegistry(), 16, "test_ops_total")
+	if p.SimSampler() != p {
+		t.Fatal("SimSampler diverged from the parent with fan-out off")
+	}
+}
+
+func TestFanOutMergesChildRings(t *testing.T) {
+	reg := NewRegistry()
+	ctr := reg.Counter("test_ops_total", "ops")
+	p := NewSampler(reg, 16, "test_ops_total")
+	p.SetSimEvery(1)
+	p.Reset()
+	p.SetEnabled(true)
+	p.SetFanOut(true)
+
+	a := p.SimSampler()
+	b := p.SimSampler()
+	if a == p || b == p || a == b {
+		t.Fatal("fan-out did not hand out distinct child samplers")
+	}
+	if !a.Enabled() || !b.Enabled() {
+		t.Fatal("children did not inherit the enabled state")
+	}
+
+	// Two sims ticking out of lockstep, with one timestamp collision
+	// at t=100. The registry is shared, so each child's windowed delta
+	// is relative to its own previous sample of the shared total.
+	ctr.Add(3)
+	a.SimTick(100) // a: (100, 3)
+	ctr.Add(2)
+	b.SimTick(50)  // b: (50, 5)
+	b.SimTick(100) // b: (100, 0) — loses the collision to a
+	a.SimTick(200) // a: (200, 2)
+
+	if got := p.Samples(); got != 4 {
+		t.Fatalf("parent Samples() = %d, want 4 (2 per child)", got)
+	}
+
+	d := p.Dump()
+	if d.Samples != 4 || d.Ticks != 4 {
+		t.Fatalf("merged dump samples=%d ticks=%d, want 4/4", d.Samples, d.Ticks)
+	}
+	if len(d.Series) != 1 || d.Series[0].Name != "test_ops_total" {
+		t.Fatalf("merged series = %+v", d.Series)
+	}
+	want := []Point{{T: 50, V: 5}, {T: 100, V: 3}, {T: 200, V: 2}}
+	if got := d.Series[0].Points; !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged points = %v, want %v (earlier source wins the t=100 collision)", got, want)
+	}
+
+	// Disabling the parent silences the children too.
+	p.SetEnabled(false)
+	ctr.Inc()
+	a.SimTick(300)
+	if got := p.Samples(); got != 4 {
+		t.Fatalf("child sampled while parent disabled: Samples() = %d", got)
+	}
+
+	// Reset detaches children: they belong to the previous recording.
+	p.Reset()
+	if got := p.Samples(); got != 0 {
+		t.Fatalf("Samples() = %d after Reset, want 0", got)
+	}
+	if d := p.Dump(); len(d.Series) != 0 {
+		t.Fatalf("detached children leaked %d series into the dump", len(d.Series))
+	}
+}
+
+func TestMergeDumpsPreservesKindAndDropped(t *testing.T) {
+	a := &Dump{Schema: DumpSchemaVersion, Clock: ClockSimPs, SimEvery: 7, Samples: 2, Ticks: 14,
+		Series: []SeriesDump{{Name: "x", Kind: SeriesGauge, Metric: "x", Dropped: 1,
+			Points: []Point{{T: 1, V: 10}, {T: 3, V: 30}}}}}
+	b := &Dump{Schema: DumpSchemaVersion, Clock: ClockSimPs, SimEvery: 7, Samples: 1, Ticks: 7,
+		Series: []SeriesDump{{Name: "x", Kind: SeriesGauge, Metric: "x", Dropped: 2,
+			Points: []Point{{T: 2, V: 20}}}}}
+	m := mergeDumps([]*Dump{a, b})
+	if m.Clock != ClockSimPs || m.SimEvery != 7 || m.Samples != 3 || m.Ticks != 21 {
+		t.Fatalf("merged header = %+v", m)
+	}
+	sr := m.Series[0]
+	if sr.Kind != SeriesGauge || sr.Dropped != 3 {
+		t.Fatalf("merged series header = %+v", sr)
+	}
+	want := []Point{{T: 1, V: 10}, {T: 2, V: 20}, {T: 3, V: 30}}
+	if !reflect.DeepEqual(sr.Points, want) {
+		t.Fatalf("merged points = %v, want %v", sr.Points, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -102,6 +103,18 @@ type Sampler struct {
 	lastT    int64
 	haveLast bool
 	stop     chan struct{}
+
+	// Per-sim fan-out (multi-sim recording). One sampler owns one
+	// strictly monotonic timeline, so when several simulators run in
+	// parallel (xfmbench -j) and share the recorder, only the first to
+	// reach a timestamp records it. With fan-out enabled, SimSampler
+	// hands each new simulator a private child sampler (own tick clock
+	// and rings, same registry and catalogue) and Dump merges the
+	// per-sim rings afterwards. children has its own mutex so no
+	// Sampler.mu ever nests inside another Sampler.mu.
+	fanOut   atomic.Bool
+	childMu  sync.Mutex
+	children []*Sampler
 }
 
 // NewSampler builds a disabled sampler over reg recording the given
@@ -152,20 +165,71 @@ func (s *Sampler) SetSimEvery(n int) {
 	s.simEvery.Store(int64(n))
 }
 
-// SetEnabled turns the recorder on or off. Enabling does not
-// re-baseline; call Reset first when starting a fresh recording.
-func (s *Sampler) SetEnabled(on bool) { s.enabled.Store(on) }
+// SetEnabled turns the recorder on or off (children included).
+// Enabling does not re-baseline; call Reset first when starting a
+// fresh recording.
+func (s *Sampler) SetEnabled(on bool) {
+	s.enabled.Store(on)
+	for _, c := range s.childrenSnapshot() {
+		c.SetEnabled(on)
+	}
+}
 
 // Enabled reports whether the recorder is on.
 func (s *Sampler) Enabled() bool { return s.enabled.Load() }
 
 // Reset clears every recorded series and re-baselines the counter and
 // histogram snapshots at the metrics' current values, so the first
-// recorded window holds only activity after the reset.
+// recorded window holds only activity after the reset. Fan-out
+// children are detached: simulators built before a Reset belong to the
+// previous recording.
 func (s *Sampler) Reset() {
 	s.mu.Lock()
 	s.resetLocked()
 	s.mu.Unlock()
+	s.childMu.Lock()
+	s.children = nil
+	s.childMu.Unlock()
+}
+
+// SetFanOut enables (or disables) per-sim fan-out: while on, each
+// SimSampler call returns a fresh child sampler instead of s itself.
+// Existing children stay attached until Reset.
+func (s *Sampler) SetFanOut(on bool) { s.fanOut.Store(on) }
+
+// SimSampler returns the sampler a newly built simulator should tick.
+// In the default single-recorder mode that is s itself — zero behavior
+// change, one dump, bit-deterministic. With fan-out enabled it is a
+// fresh child sampler over the same registry and catalogue, with its
+// own tick clock and rings, baselined at the current registry state;
+// Dump() merges the per-sim rings so no simulator's timeline is lost
+// to another's first-writer-wins timestamp collision. Note the
+// registry itself stays shared: under -j a child's windowed deltas
+// include concurrent activity from sibling sims, so merged parallel
+// recordings are full-coverage but not per-sim-exact.
+func (s *Sampler) SimSampler() *Sampler {
+	if !s.fanOut.Load() {
+		return s
+	}
+	s.mu.Lock()
+	capacity := s.capacity
+	names := append([]string(nil), s.names...)
+	s.mu.Unlock()
+	c := NewSampler(s.reg, capacity, names...)
+	c.simEvery.Store(s.simEvery.Load())
+	c.Reset()
+	c.enabled.Store(s.enabled.Load())
+	s.childMu.Lock()
+	s.children = append(s.children, c)
+	s.childMu.Unlock()
+	return c
+}
+
+// childrenSnapshot returns the attached fan-out children.
+func (s *Sampler) childrenSnapshot() []*Sampler {
+	s.childMu.Lock()
+	defer s.childMu.Unlock()
+	return append([]*Sampler(nil), s.children...)
 }
 
 func (s *Sampler) resetLocked() {
@@ -191,11 +255,16 @@ func (s *Sampler) resetLocked() {
 	}
 }
 
-// Samples returns the number of samples taken since the last Reset.
+// Samples returns the number of samples taken since the last Reset,
+// including samples recorded by fan-out children.
 func (s *Sampler) Samples() int {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.samples
+	n := s.samples
+	s.mu.Unlock()
+	for _, c := range s.childrenSnapshot() {
+		n += c.Samples()
+	}
+	return n
 }
 
 // SimTick is the simulated-time clock input, called by nma.Sim at the
@@ -373,7 +442,8 @@ func (s *Sampler) StartWall(interval time.Duration) {
 }
 
 // Stop halts a wall-clock sampling goroutine (no-op otherwise) and
-// disables the recorder. Recorded series stay readable.
+// disables the recorder, fan-out children included. Recorded series
+// stay readable.
 func (s *Sampler) Stop() {
 	s.enabled.Store(false)
 	s.mu.Lock()
@@ -382,6 +452,9 @@ func (s *Sampler) Stop() {
 		s.stop = nil
 	}
 	s.mu.Unlock()
+	for _, c := range s.childrenSnapshot() {
+		c.Stop()
+	}
 }
 
 // Clock names used in dumps.
@@ -415,8 +488,28 @@ type Dump struct {
 // DumpSchemaVersion is the current Dump schema.
 const DumpSchemaVersion = 1
 
-// Dump snapshots every recorded series.
+// Dump snapshots every recorded series. When fan-out children are
+// attached (multi-sim recording), their rings are merged in: series
+// are matched by name and points merged by timestamp, with the earlier
+// source (parent first, then children in creation order) winning a
+// timestamp collision, so every merged series stays strictly
+// monotonic.
 func (s *Sampler) Dump() *Dump {
+	d := s.dumpOwn()
+	kids := s.childrenSnapshot()
+	if len(kids) == 0 {
+		return d
+	}
+	dumps := make([]*Dump, 0, len(kids)+1)
+	dumps = append(dumps, d)
+	for _, c := range kids {
+		dumps = append(dumps, c.dumpOwn())
+	}
+	return mergeDumps(dumps)
+}
+
+// dumpOwn snapshots this sampler's own rings, ignoring children.
+func (s *Sampler) dumpOwn() *Dump {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d := &Dump{
@@ -437,6 +530,57 @@ func (s *Sampler) Dump() *Dump {
 		})
 	}
 	return d
+}
+
+// mergeDumps combines per-sim dumps into one artifact: Samples and
+// Ticks sum, series match by name in first-seen order, and each
+// series' points merge sorted by timestamp with the earlier source
+// winning ties. Sources are passed in a deterministic order, so the
+// merged dump is bit-reproducible whenever the inputs are.
+func mergeDumps(dumps []*Dump) *Dump {
+	out := &Dump{
+		Schema:   DumpSchemaVersion,
+		Clock:    dumps[0].Clock,
+		SimEvery: dumps[0].SimEvery,
+	}
+	var names []string
+	byName := map[string][]SeriesDump{}
+	for _, d := range dumps {
+		out.Samples += d.Samples
+		out.Ticks += d.Ticks
+		for _, sr := range d.Series {
+			if _, ok := byName[sr.Name]; !ok {
+				names = append(names, sr.Name)
+			}
+			byName[sr.Name] = append(byName[sr.Name], sr)
+		}
+	}
+	for _, name := range names {
+		srcs := byName[name]
+		m := SeriesDump{Name: name, Kind: srcs[0].Kind, Metric: srcs[0].Metric}
+		n := 0
+		for _, sr := range srcs {
+			m.Dropped += sr.Dropped
+			n += len(sr.Points)
+		}
+		pts := make([]Point, 0, n)
+		for _, sr := range srcs {
+			pts = append(pts, sr.Points...)
+		}
+		// Stable sort keeps the earlier source's point first among equal
+		// timestamps; the dedupe below then drops the later ones.
+		sort.SliceStable(pts, func(i, j int) bool { return pts[i].T < pts[j].T })
+		merged := pts[:0]
+		for _, p := range pts {
+			if len(merged) > 0 && merged[len(merged)-1].T == p.T {
+				continue
+			}
+			merged = append(merged, p)
+		}
+		m.Points = merged
+		out.Series = append(out.Series, m)
+	}
+	return out
 }
 
 // WriteJSON writes the dump as indented JSON.
@@ -556,8 +700,12 @@ func DefaultSeriesMetrics() []string {
 		"sfm_same_filled_total", "sfm_incompressible_total",
 		"xfm_offloads_total", "xfm_fallbacks_total",
 		"xfm_ecc_corrected_total", "xfm_ecc_uncorrectable_total",
+		// Degradation ladder and fault plane (DESIGN §10).
+		"xfm_op_timeouts_total", "xfm_breaker_trips_total",
+		"fault_injected_total",
 		// NMA refresh-window machinery.
 		"nma_windows_total", "nma_busy_windows_total",
+		"nma_storm_windows_total",
 		"nma_requests_submitted_total", "nma_requests_rejected_total",
 		"nma_requests_completed_total",
 		"nma_conditional_accesses_total", "nma_random_accesses_total",
@@ -565,6 +713,7 @@ func DefaultSeriesMetrics() []string {
 		// Memory controller pressure.
 		"memctrl_requests_total", "memctrl_queue_full_stalls_total",
 		// Instantaneous state and derived rates.
+		"xfm_degraded_mode", "xfm_quarantined_pages",
 		"xfm_fallback_rate", "nma_slot_utilization",
 		"nma_queue_depth", "nma_spm_used_bytes",
 		"memctrl_read_queue_depth", "memctrl_write_queue_depth",

@@ -7,6 +7,7 @@ import (
 	"xfm/internal/compress"
 	"xfm/internal/dram"
 	"xfm/internal/ecc"
+	"xfm/internal/fault"
 	"xfm/internal/memctrl"
 	"xfm/internal/nma"
 	"xfm/internal/parallel"
@@ -61,6 +62,19 @@ type Backend struct {
 	parityBytes      telemetry.Counter
 	eccCorrected     telemetry.Counter
 	eccUncorrectable telemetry.Counter
+
+	// Fault plane and graceful degradation (both nil/empty unless
+	// explicitly armed; the default backend pays one nil check per op).
+	// inj schedules deterministic ECC bit flips on swap-in images; deg
+	// is the circuit breaker (degrade.go); staging holds raw page
+	// copies that back quarantine re-serves; quarantined lists pages
+	// whose verification found uncorrectable words (bad-word count).
+	// Like parity, staging and quarantined are touched only on the
+	// serial phases of the swap paths.
+	inj         *fault.Injector
+	deg         *degrader
+	staging     map[sfm.PageID][]byte
+	quarantined map[sfm.PageID]int
 }
 
 // NewBackend builds an XFM backend. regionBytes limits the SFM region;
@@ -94,14 +108,23 @@ func newBackend(codec compress.Codec, inner sfm.Backend, regionBytes int64,
 		return nil, err
 	}
 	return &Backend{
-		inner:      inner,
-		driver:     driver,
-		mapp:       m,
-		codec:      codec,
-		eccEnabled: true,
-		parity:     map[sfm.PageID][]byte{},
-		pool:       parallel.NewPool(0),
+		inner:       inner,
+		driver:      driver,
+		mapp:        m,
+		codec:       codec,
+		eccEnabled:  true,
+		parity:      map[sfm.PageID][]byte{},
+		quarantined: map[sfm.PageID]int{},
+		pool:        parallel.NewPool(0),
 	}, nil
+}
+
+// SetInjector arms deterministic fault injection (nil disarms): the
+// injector reaches the driver's submission path, the NMA sim's storm
+// schedule, and this backend's ECC verification images.
+func (b *Backend) SetInjector(in *fault.Injector) {
+	b.inj = in
+	b.driver.SetInjector(in)
 }
 
 // Close releases the backend's worker pool (and the inner store's,
@@ -166,6 +189,9 @@ func (b *Backend) SwapOut(now dram.Ps, id sfm.PageID, data []byte) error {
 		b.parity[id] = ecc.PageParity(data)
 		b.parityBytes.Add(int64(len(b.parity[id])))
 	}
+	if b.deg != nil {
+		b.stageCopy(id, data)
+	}
 	b.driver.AdvanceTo(now)
 	b.nextReq++
 	req := nma.Request{
@@ -192,15 +218,20 @@ func (b *Backend) SwapIn(now dram.Ps, id sfm.PageID, dst []byte, offload bool) e
 	}
 	if b.eccEnabled {
 		if p, ok := b.parity[id]; ok {
+			if b.inj != nil {
+				b.injectECC(id, dst)
+			}
 			corrected, bad := ecc.VerifyPage(dst, p)
 			b.recordECC(corrected, bad)
 			delete(b.parity, id)
 			if bad > 0 {
-				//xfm:ignore hotpath-alloc cold path: an uncorrectable ECC word is already a data-loss event
-				return fmt.Errorf("xfm: page %d has %d uncorrectable ECC words", id, bad)
+				if err := b.quarantinePage(id, bad, dst); err != nil {
+					return err
+				}
 			}
 		}
 	}
+	delete(b.staging, id)
 	b.driver.AdvanceTo(now)
 	if !offload {
 		b.recordFallback(nma.DecompressOp)
@@ -235,6 +266,72 @@ func (b *Backend) recordFallback(kind nma.OpKind) {
 	b.cpuCycles.Add(perByte * sfm.PageSize)
 }
 
+// stageCopy keeps an uncompressed staging copy of a swapped-out page:
+// the CPU-side backstop that lets a later uncorrectable ECC hit be
+// re-served intact instead of surfacing data loss. Buffers recycle per
+// page ID across swap cycles.
+//
+//xfm:allocok staging copies exist only with degradation armed (chaos runs), never in steady-state benchmarks
+func (b *Backend) stageCopy(id sfm.PageID, data []byte) {
+	buf := b.staging[id]
+	if cap(buf) < len(data) {
+		buf = make([]byte, len(data))
+	}
+	buf = buf[:len(data)]
+	copy(buf, data)
+	b.staging[id] = buf
+}
+
+// injectECC applies the chaos plan's scheduled bit flips to the page
+// image read back from far memory, before parity verification. The
+// draw is keyed by page ID, so which pages get hit is independent of
+// swap order; multi takes precedence over single when both fire.
+func (b *Backend) injectECC(id sfm.PageID, dst []byte) {
+	words := len(dst) / 8
+	if words == 0 {
+		return
+	}
+	if b.inj.Hit(fault.SiteECCMulti, uint64(id)) {
+		// Two flipped bits in one 64-bit word: uncorrectable under
+		// SECDED (§4.1). The word index is a hash of the page ID so
+		// hits spread across the page.
+		w := int((uint64(id) * 0x9e3779b97f4a7c15 >> 17) % uint64(words))
+		dst[w*8] ^= 0x41
+		return
+	}
+	if b.inj.Hit(fault.SiteECCSingle, uint64(id)) {
+		w := int((uint64(id) * 0xbf58476d1ce4e5b9 >> 17) % uint64(words))
+		dst[w*8] ^= 0x01
+	}
+}
+
+// quarantinePage handles an uncorrectable ECC verification: the page
+// joins the quarantine list and, when a staging copy of the original
+// bytes exists, the swap-in is re-served intact from it. Only when no
+// copy is available does the caller surface data loss, as a typed
+// *UncorrectableError.
+//
+//xfm:allocok quarantine is the uncorrectable-ECC cold path, never steady-state work
+func (b *Backend) quarantinePage(id sfm.PageID, bad int, dst []byte) error {
+	if _, dup := b.quarantined[id]; !dup {
+		gmQuarantinedPages.Add(1)
+	}
+	b.quarantined[id] = bad
+	if c, ok := b.staging[id]; ok && len(c) == len(dst) {
+		copy(dst, c)
+		gmQuarantineServed.Inc()
+		return nil
+	}
+	return &UncorrectableError{Page: id, BadWords: bad}
+}
+
+// QuarantinedPages returns how many pages are on the quarantine list.
+func (b *Backend) QuarantinedPages() int { return len(b.quarantined) }
+
+// QuarantineServed returns how many quarantined swap-ins were re-served
+// from staging copies, process-wide.
+func QuarantineServed() int64 { return gmQuarantineServed.Value() }
+
 // recordECC accumulates one page's verification result.
 func (b *Backend) recordECC(corrected, bad int) {
 	b.eccCorrected.Add(int64(corrected))
@@ -245,6 +342,90 @@ func (b *Backend) recordECC(corrected, bad int) {
 
 //xfm:hotpath
 func (b *Backend) submitOrFallback(req nma.Request, kind nma.OpKind) {
+	d := b.deg
+	if d == nil {
+		// Default path: §6's stateless per-op fallback, no breaker.
+		if ok, err := b.submitOnce(req); err != nil || !ok {
+			b.recordFallback(kind)
+			return
+		}
+		b.offloads.Inc()
+		gmOffloads.Inc()
+		return
+	}
+	switch Mode(d.mode.Load()) {
+	case ModeCPUOnly:
+		// Breaker open: skip the MMIO round trip entirely; after
+		// ReprobeAfter absorbed ops, start probing with canaries.
+		d.cpuOps++
+		if d.cpuOps >= d.policy.ReprobeAfter {
+			b.transition(ModeRecovering, req.Arrive)
+		}
+		b.recordFallback(kind)
+		return
+	case ModeRecovering:
+		// Canary probe: a real op, but one failure re-opens the
+		// breaker immediately instead of feeding the sliding window.
+		gmCanaryProbes.Inc()
+		if ok, err := b.submitOnce(req); err != nil || !ok {
+			gmCanaryFailures.Inc()
+			b.transition(ModeCPUOnly, req.Arrive)
+			b.recordFallback(kind)
+			return
+		}
+		d.canaryOK++
+		if d.canaryOK >= d.policy.CanarySuccesses {
+			b.transition(ModeHealthy, req.Arrive)
+		}
+		b.offloads.Inc()
+		gmOffloads.Inc()
+		return
+	}
+	ok, err := b.submitOnce(req)
+	if err == ErrOpTimeout {
+		gmOpTimeouts.Inc()
+		if d.policy.RetryOnce {
+			// Per-op deadline policy: retry once (a fresh submission
+			// sequence number, so injection draws fresh), then fall
+			// back to the CPU.
+			gmOpRetries.Inc()
+			ok, err = b.submitOnce(req)
+			if err == ErrOpTimeout {
+				gmOpTimeouts.Inc()
+			}
+		}
+	}
+	// Only op-deadline failures feed the breaker window: a queue
+	// rejection is §6's designed backpressure path (one CPU fallback),
+	// not a hardware-health signal, so sustained storms or spurious
+	// queue-fulls degrade throughput without opening the breaker.
+	fail := err != nil
+	d.recordOutcome(fail)
+	if fail {
+		if d.failures >= d.policy.TripFailures {
+			b.transition(ModeCPUOnly, req.Arrive)
+		} else if d.failures >= d.policy.DegradeFailures {
+			b.transition(ModeDegraded, req.Arrive)
+		}
+		b.recordFallback(kind)
+		return
+	}
+	if Mode(d.mode.Load()) == ModeDegraded && d.failures < d.policy.DegradeFailures {
+		b.transition(ModeHealthy, req.Arrive)
+	}
+	if !ok {
+		b.recordFallback(kind)
+		return
+	}
+	b.offloads.Inc()
+	gmOffloads.Inc()
+}
+
+// submitOnce runs one §6 submission: lazy SPM occupancy check, MMIO
+// sync when the inferred bound is exhausted, then the queue doorbell.
+//
+//xfm:hotpath
+func (b *Backend) submitOnce(req nma.Request) (bool, error) {
 	cfg := b.driver.Sim().Config()
 	// Upper bound: every submitted-but-unobserved offload may still
 	// hold a page in the SPM. When the bound says the SPM is full,
@@ -255,13 +436,7 @@ func (b *Backend) submitOrFallback(req nma.Request, kind nma.OpKind) {
 		b.spmSyncs.Inc()
 		gmSPMSyncs.Inc()
 	}
-	ok, err := b.driver.Submit(req)
-	if err != nil || !ok {
-		b.recordFallback(kind)
-		return
-	}
-	b.offloads.Inc()
-	gmOffloads.Inc()
+	return b.driver.Submit(req)
 }
 
 // Contains implements sfm.Backend.

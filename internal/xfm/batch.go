@@ -43,6 +43,9 @@ func (b *Backend) SwapOutBatch(now dram.Ps, pages []sfm.PageOut) []error {
 			b.parity[p.ID] = pars[i]
 			b.parityBytes.Add(int64(len(pars[i])))
 		}
+		if b.deg != nil {
+			b.stageCopy(p.ID, p.Data)
+		}
 		b.nextReq++
 		req := nma.Request{
 			ID:       b.nextReq,
@@ -68,6 +71,21 @@ func (b *Backend) SwapInBatch(now dram.Ps, pages []sfm.PageIn, offload bool) []e
 	}
 	var vs []verify
 	if b.eccEnabled {
+		if b.inj != nil {
+			// Draw and apply the scheduled bit flips serially, in input
+			// order, before the verification fan-out: the draws are
+			// keyed by page ID but budget accounting is call-ordered,
+			// and determinism of budgeted plans must not depend on
+			// worker scheduling.
+			for i := range pages {
+				if errs[i] != nil {
+					continue
+				}
+				if _, ok := b.parity[pages[i].ID]; ok {
+					b.injectECC(pages[i].ID, pages[i].Dst)
+				}
+			}
+		}
 		vs = make([]verify, len(pages))
 		b.pool.Run(len(pages), b.workers, func(_, i int) {
 			if errs[i] != nil {
@@ -88,10 +106,13 @@ func (b *Backend) SwapInBatch(now dram.Ps, pages []sfm.PageIn, offload bool) []e
 			b.recordECC(vs[i].corrected, vs[i].bad)
 			delete(b.parity, p.ID)
 			if vs[i].bad > 0 {
-				errs[i] = fmt.Errorf("xfm: page %d has %d uncorrectable ECC words", p.ID, vs[i].bad)
-				continue
+				if err := b.quarantinePage(p.ID, vs[i].bad, p.Dst); err != nil {
+					errs[i] = err
+					continue
+				}
 			}
 		}
+		delete(b.staging, p.ID)
 		if !offload {
 			b.recordFallback(nma.DecompressOp)
 			continue

@@ -1,0 +1,40 @@
+package xfm
+
+import (
+	"errors"
+	"fmt"
+
+	"xfm/internal/sfm"
+)
+
+// ErrUncorrectable is the errors.Is target for uncorrectable side-band
+// ECC verification failures (§4.1): more than one flipped bit in a
+// 64-bit word defeats SECDED.
+var ErrUncorrectable = errors.New("xfm: uncorrectable ECC words")
+
+// ErrOpTimeout is the per-op deadline error for a submitted offload
+// the NMA accepted but never completed in time (an injected stall, or
+// real hardware wedging). It is a static sentinel — Submit sits on the
+// swap hot path and must not construct an error per rejection — and
+// the backend's policy on seeing it is retry once, then CPU fallback.
+var ErrOpTimeout = errors.New("xfm: offload op deadline exceeded")
+
+// UncorrectableError reports which page failed ECC verification and
+// how many words were uncorrectable. The struct is plain data: no fmt
+// call happens until Error() renders it, so constructing one on the
+// swap-in path allocates only the (cold, error-path) struct itself and
+// needs no hotpath-alloc suppression.
+type UncorrectableError struct {
+	Page     sfm.PageID
+	BadWords int
+}
+
+// Error implements error.
+func (e *UncorrectableError) Error() string {
+	return fmt.Sprintf("xfm: page %d has %d uncorrectable ECC words", e.Page, e.BadWords)
+}
+
+// Is makes errors.Is(err, ErrUncorrectable) match any UncorrectableError.
+func (e *UncorrectableError) Is(target error) bool {
+	return target == ErrUncorrectable
+}

@@ -27,6 +27,35 @@ var (
 	hBatchPages = telemetry.NewHistogram("xfm_batch_pages",
 		"Pages per SwapOutBatch/SwapInBatch call through an XFM backend.",
 		telemetry.ExpBuckets(1, 2, 13))
+
+	// Degradation ladder (degrade.go). The mode gauge is the health
+	// monitor's primary signal: 0 HEALTHY, 1 DEGRADED, 2 RECOVERING,
+	// 3 CPU_ONLY. With several backends in one process the gauge
+	// reflects the most recent transition; per-backend state is exact
+	// via Backend.Mode().
+	gmDegradedMode = telemetry.NewGauge("xfm_degraded_mode",
+		"Current degradation mode (0 HEALTHY, 1 DEGRADED, 2 RECOVERING, 3 CPU_ONLY).")
+	gmModeTransitions = telemetry.NewCounter("xfm_mode_transitions_total",
+		"Degradation-ladder mode transitions across all backends.")
+	gmBreakerTrips = telemetry.NewCounter("xfm_breaker_trips_total",
+		"Circuit-breaker trips to CPU_ONLY (N submit failures inside the sliding window).")
+	gmBreakerRecoveries = telemetry.NewCounter("xfm_breaker_recoveries_total",
+		"Breaker closes: canary probes proved the NMA healthy again.")
+	gmOpTimeouts = telemetry.NewCounter("xfm_op_timeouts_total",
+		"Offload submissions that blew their per-op deadline (ErrOpTimeout).")
+	gmOpRetries = telemetry.NewCounter("xfm_op_retries_total",
+		"Timed-out submissions retried once before falling back to the CPU.")
+	gmCanaryProbes = telemetry.NewCounter("xfm_canary_probes_total",
+		"Real ops routed to the NMA as canaries while RECOVERING.")
+	gmCanaryFailures = telemetry.NewCounter("xfm_canary_failures_total",
+		"Canary probes that failed and re-opened the breaker.")
+
+	// ECC quarantine (§4.1 integrity + graceful degradation): pages
+	// whose side-band verification found uncorrectable words.
+	gmQuarantinedPages = telemetry.NewGauge("xfm_quarantined_pages",
+		"Pages currently quarantined after uncorrectable ECC verification.")
+	gmQuarantineServed = telemetry.NewCounter("xfm_quarantine_served_total",
+		"Quarantined swap-ins re-served intact from the CPU staging copy.")
 )
 
 func init() {
